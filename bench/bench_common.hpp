@@ -1,0 +1,136 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// Shared miniature-world construction for the benchmark harnesses.
+///
+/// Every bench reproduces one table or figure of the paper at miniature
+/// scale (the substitutions are documented in DESIGN.md) and, where the
+/// paper's absolute numbers depend on the DGX testbed, prints the
+/// PerfModel projection alongside the measured miniature value.
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/surrogate.hpp"
+#include "core/trainer.hpp"
+#include "data/dataset.hpp"
+#include "ocean/archive.hpp"
+#include "ocean/bathymetry.hpp"
+#include "util/csv.hpp"
+#include "util/logging.hpp"
+
+namespace coastal::bench {
+
+struct MiniWorld {
+  ocean::Grid grid{20, 20, 6, 400.0, 400.0};
+  ocean::TidalForcing tides = ocean::TidalForcing::gulf_coast_default();
+  ocean::PhysicsParams params;
+
+  /// Training archive ("year A") and a disjoint, later test archive
+  /// ("year B"), mirroring the paper's 2011-train / 2012-test split.
+  std::vector<data::CenterFields> train_fields;
+  std::vector<data::CenterFields> test_fields;
+  std::vector<data::CenterFields> test_fields_norm;
+  double test_t0 = 0.0;
+
+  data::Dataset train_set;
+  data::Dataset test_set;
+
+  std::unique_ptr<core::SurrogateModel> model;  ///< trained fine model
+};
+
+inline std::string bench_dir(const std::string& name) {
+  auto p = std::filesystem::temp_directory_path() / ("coastal_bench_" + name);
+  std::filesystem::remove_all(p);
+  std::filesystem::create_directories(p);
+  return p.string();
+}
+
+/// Output directory for the CSV artifacts (checked into the working tree
+/// so plots can be regenerated).
+inline std::string results_dir() {
+  std::filesystem::create_directories("bench_results");
+  return "bench_results";
+}
+
+/// Build grid + archives + datasets; optionally train the fine model.
+inline MiniWorld make_mini_world(const std::string& name,
+                                 bool train_model = true,
+                                 int train_hours = 30, int test_hours = 14,
+                                 int T = 3, int train_epochs = 8) {
+  util::set_log_level(util::LogLevel::kWarn);
+  MiniWorld w;
+  w.params.dt = 10.0;
+  ocean::generate_estuary(w.grid, ocean::EstuaryParams{}, 42);
+
+  ocean::ArchiveConfig train_cfg;
+  train_cfg.spinup_seconds = 2 * 3600.0;
+  train_cfg.duration_seconds = train_hours * 3600.0;
+  train_cfg.interval_seconds = 1800.0;
+  auto train_snaps =
+      ocean::simulate_archive(w.grid, w.tides, w.params, train_cfg);
+  w.train_fields = data::center_archive(w.grid, train_snaps);
+
+  // Test "year": continue the same ocean further in time by extending the
+  // spinup past the training span.
+  ocean::ArchiveConfig test_cfg;
+  test_cfg.spinup_seconds = train_cfg.spinup_seconds +
+                            train_cfg.duration_seconds + 3600.0;
+  test_cfg.duration_seconds = test_hours * 3600.0;
+  test_cfg.interval_seconds = 1800.0;
+  auto test_snaps = ocean::simulate_archive(w.grid, w.tides, w.params, test_cfg);
+  w.test_t0 = test_snaps.front().time;
+  w.test_fields = data::center_archive(w.grid, test_snaps);
+
+  data::DatasetConfig dcfg;
+  dcfg.T = T;
+  dcfg.stride = 1;
+  dcfg.multiple_hw = 4;
+  dcfg.multiple_d = 2;
+  dcfg.dir = bench_dir(name + "_train");
+  w.train_set = data::build_dataset(w.train_fields, dcfg);
+
+  dcfg.dir = bench_dir(name + "_test");
+  dcfg.stride = T;  // non-overlapping test windows, as the paper uses
+  w.test_set = data::build_dataset(w.test_fields, dcfg,
+                                   &w.train_set.normalizer, 0.0);
+  // All test windows are "train_indices" of the test set (val_fraction 0).
+  w.test_fields_norm = w.test_fields;
+  for (auto& f : w.test_fields_norm)
+    w.train_set.normalizer.normalize_fields(f);
+
+  core::SurrogateConfig mcfg;
+  mcfg.H = w.train_set.spec.H;
+  mcfg.W = w.train_set.spec.W;
+  mcfg.D = w.train_set.spec.D;
+  mcfg.T = w.train_set.spec.T;
+  mcfg.patch_h = 5;
+  mcfg.patch_w = 5;
+  mcfg.patch_d = 2;
+  mcfg.embed_dim = 8;
+  mcfg.stages = 3;
+  mcfg.heads = {2, 4, 8};
+  util::Rng rng(7);
+  w.model = std::make_unique<core::SurrogateModel>(mcfg, rng);
+
+  if (train_model) {
+    core::TrainConfig tcfg;
+    tcfg.epochs = train_epochs;
+    tcfg.lr = 2e-3f;
+    tcfg.loader.num_workers = 1;
+    core::train(*w.model, w.train_set, tcfg);
+  }
+  return w;
+}
+
+inline void print_header(const char* what) {
+  std::printf("\n=== %s ===\n", what);
+  std::printf(
+      "(miniature reproduction; paper-scale columns are PerfModel "
+      "projections — see DESIGN.md)\n\n");
+}
+
+}  // namespace coastal::bench

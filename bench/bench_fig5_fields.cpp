@@ -1,0 +1,106 @@
+/// Fig. 5: spatial maps of ROMS vs AI surrogate vs difference for the
+/// surface-layer u, v and for zeta, after a multi-episode forecast.
+/// Emits one CSV per panel under bench_results/ plus a terminal summary
+/// (field ranges and difference statistics) and an ASCII rendering of
+/// zeta for quick inspection.
+
+#include "bench_common.hpp"
+#include "core/rollout.hpp"
+#include "io/field_io.hpp"
+#include "util/stats.hpp"
+
+using namespace coastal;
+
+namespace {
+
+/// Surface-layer (k = nz-1) slice of a layered field.
+std::vector<float> surface_layer(const data::CenterFields& f) {
+  const size_t n2 = static_cast<size_t>(f.ny) * f.nx;
+  const size_t off = static_cast<size_t>(f.nz - 1) * n2;
+  return {f.u.begin() + static_cast<ptrdiff_t>(off),
+          f.u.begin() + static_cast<ptrdiff_t>(off + n2)};
+}
+
+std::vector<float> diff(const std::vector<float>& a,
+                        const std::vector<float>& b) {
+  std::vector<float> d(a.size());
+  for (size_t i = 0; i < a.size(); ++i) d[i] = a[i] - b[i];
+  return d;
+}
+
+void report(const char* name, const std::vector<float>& roms,
+            const std::vector<float>& ai, const ocean::Grid& grid) {
+  util::RunningStats rs, as, ds;
+  for (int iy = 0; iy < grid.ny(); ++iy)
+    for (int ix = 0; ix < grid.nx(); ++ix) {
+      if (!grid.wet(ix, iy)) continue;
+      const size_t i = static_cast<size_t>(iy) * grid.nx() + ix;
+      rs.add(roms[i]);
+      as.add(ai[i]);
+      ds.add(std::abs(roms[i] - ai[i]));
+    }
+  std::printf("%-6s ROMS [%+.3f, %+.3f]  AI [%+.3f, %+.3f]  |diff| mean "
+              "%.4f max %.4f\n",
+              name, rs.min(), rs.max(), as.min(), as.max(), ds.mean(),
+              ds.max());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 5 — spatial maps: ROMS vs AI vs difference");
+  auto w = bench::make_mini_world("fig5", true, 30, 12);
+
+  // Forecast 4 episodes ahead (the paper's panel is ~6 days into a
+  // 12-day forecast).
+  const int episodes = 4;
+  auto pred = core::rollout(*w.model, w.train_set.spec,
+                            w.train_set.normalizer, w.test_fields_norm,
+                            episodes);
+  const auto& ai = pred.back();
+  const auto& roms = w.test_fields[pred.size()];  // truth at the same time
+
+  const std::string dir = bench::results_dir();
+  struct Panel {
+    const char* name;
+    std::vector<float> roms, ai;
+  };
+  // u surface slice comes from .u; v from .v; zeta is 2-D already.
+  Panel panels[3];
+  panels[0] = {"u", surface_layer(roms), surface_layer(ai)};
+  {
+    data::CenterFields rv = roms, av = ai;
+    std::swap(rv.u, rv.v);
+    std::swap(av.u, av.v);
+    panels[1] = {"v", surface_layer(rv), surface_layer(av)};
+  }
+  panels[2] = {"zeta", roms.zeta, ai.zeta};
+
+  for (auto& p : panels) {
+    io::write_field_csv(dir + "/fig5_" + p.name + "_roms.csv", p.roms,
+                        w.grid.nx(), w.grid.ny(), &w.grid);
+    io::write_field_csv(dir + "/fig5_" + p.name + "_ai.csv", p.ai,
+                        w.grid.nx(), w.grid.ny(), &w.grid);
+    io::write_field_csv(dir + "/fig5_" + p.name + "_diff.csv",
+                        diff(p.ai, p.roms), w.grid.nx(), w.grid.ny(),
+                        &w.grid);
+    report(p.name, p.roms, p.ai, w.grid);
+  }
+
+  std::printf("\nzeta, ROMS (left) vs AI surrogate (right):\n");
+  auto left = io::ascii_field(roms.zeta, w.grid.nx(), w.grid.ny(), -0.4f,
+                              0.4f, &w.grid);
+  auto right = io::ascii_field(ai.zeta, w.grid.nx(), w.grid.ny(), -0.4f,
+                               0.4f, &w.grid);
+  // Interleave rows side by side.
+  size_t l = 0, r = 0;
+  while (l < left.size() && r < right.size()) {
+    const size_t le = left.find('\n', l), re = right.find('\n', r);
+    std::printf("%s   %s\n", left.substr(l, le - l).c_str(),
+                right.substr(r, re - r).c_str());
+    l = le + 1;
+    r = re + 1;
+  }
+  std::printf("\nCSV panels written to %s/fig5_*.csv\n", dir.c_str());
+  return 0;
+}

@@ -1,0 +1,84 @@
+/// Fig. 6: zeta time series at three selected wet locations over the full
+/// long-horizon forecast — ROMS (truth) vs AI surrogate, with per-station
+/// RMSE and correlation printed and a CSV for plotting.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/rollout.hpp"
+#include "io/field_io.hpp"
+
+using namespace coastal;
+
+int main() {
+  bench::print_header("Fig. 6 — zeta time series at three stations");
+  auto w = bench::make_mini_world("fig6", true, 36, 16);
+
+  const int T = w.train_set.spec.T;
+  const int episodes =
+      (static_cast<int>(w.test_fields_norm.size()) - 1) / T;
+  auto pred = core::rollout(*w.model, w.train_set.spec,
+                            w.train_set.normalizer, w.test_fields_norm,
+                            episodes);
+
+  // Three stations spanning boundary-near shelf, inlet, and inner harbor —
+  // the same sampling logic as the paper's three locations.
+  struct Station {
+    const char* name;
+    int ix, iy;
+  };
+  Station stations[] = {
+      {"shelf", 3, w.grid.ny() / 2},
+      {"inlet", w.grid.nx() / 4 + 1, w.grid.ny() / 3},
+      {"harbor", w.grid.nx() * 2 / 3, w.grid.ny() / 2},
+  };
+  // Nudge any station that landed on land to the nearest wet cell in +x.
+  for (auto& s : stations)
+    while (!w.grid.wet(s.ix, s.iy) && s.ix + 1 < w.grid.nx()) ++s.ix;
+
+  std::vector<std::string> names;
+  std::vector<std::vector<float>> series;
+  std::printf("%-8s %6s %10s %12s %12s\n", "station", "cell", "range[m]",
+              "RMSE[m]", "corr");
+  for (const auto& s : stations) {
+    std::vector<float> truth_z, ai_z;
+    for (size_t t = 0; t < pred.size(); ++t) {
+      truth_z.push_back(
+          w.test_fields[t + 1].zeta[w.test_fields[t + 1].cell2(s.iy, s.ix)]);
+      ai_z.push_back(pred[t].zeta[pred[t].cell2(s.iy, s.ix)]);
+    }
+    // Metrics.
+    double se = 0, mr = 0, ma = 0;
+    for (size_t i = 0; i < truth_z.size(); ++i) {
+      se += (truth_z[i] - ai_z[i]) * (truth_z[i] - ai_z[i]);
+      mr += truth_z[i];
+      ma += ai_z[i];
+    }
+    const double n = static_cast<double>(truth_z.size());
+    mr /= n;
+    ma /= n;
+    double cov = 0, vr = 0, va = 0, zmin = 1e9, zmax = -1e9;
+    for (size_t i = 0; i < truth_z.size(); ++i) {
+      cov += (truth_z[i] - mr) * (ai_z[i] - ma);
+      vr += (truth_z[i] - mr) * (truth_z[i] - mr);
+      va += (ai_z[i] - ma) * (ai_z[i] - ma);
+      zmin = std::min(zmin, static_cast<double>(truth_z[i]));
+      zmax = std::max(zmax, static_cast<double>(truth_z[i]));
+    }
+    const double corr = cov / (std::sqrt(vr * va) + 1e-30);
+    std::printf("%-8s (%2d,%2d) %10.3f %12.4f %12.3f\n", s.name, s.ix, s.iy,
+                zmax - zmin, std::sqrt(se / n), corr);
+    names.push_back(std::string(s.name) + "_roms");
+    series.push_back(truth_z);
+    names.push_back(std::string(s.name) + "_ai");
+    series.push_back(ai_z);
+  }
+  io::write_series_csv(bench::results_dir() + "/fig6_timeseries.csv", names,
+                       series);
+  std::printf("\n%zu forecast steps written to "
+              "bench_results/fig6_timeseries.csv\n",
+              pred.size());
+  std::printf("shape check (paper): AI tracks the ROMS tidal oscillation "
+              "across the whole horizon — correlation near 1.\n");
+  return 0;
+}

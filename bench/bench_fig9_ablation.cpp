@@ -1,0 +1,85 @@
+/// Fig. 9: training-throughput ablation of the three system
+/// optimizations — activation checkpointing (enables batch 2), pinned
+/// memory (fast H2D path), and prefetch workers (overlap simulated SSD
+/// reads with compute).
+///
+/// The simulated device hierarchy (DeviceSim) supplies the bandwidth
+/// ratios of the DGX (SSD << PCIe paged < PCIe pinned); the compute is
+/// real.  Expected shape, as in the paper: full config fastest; removing
+/// prefetch hurts most, then pinning, then checkpointing.
+
+#include "bench_common.hpp"
+#include "core/trainer.hpp"
+
+using namespace coastal;
+
+namespace {
+
+struct Config {
+  const char* label;
+  bool checkpoint;
+  bool pin;
+  int workers;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 9 — training-throughput ablation");
+  auto w = bench::make_mini_world("fig9", /*train_model=*/false,
+                                  /*train_hours=*/16, /*test_hours=*/6);
+
+  const Config configs[] = {
+      {"our method", true, true, 2},
+      {"w/o activation ckpt", false, true, 2},
+      {"w/o pin memory", true, false, 2},
+      {"w/o prefetch", true, true, 0},
+  };
+
+  util::CsvWriter csv(bench::results_dir() + "/fig9_ablation.csv",
+                      {"config", "throughput_inst_per_s", "paper_value"});
+  const double paper[] = {1.36, 0.81, 0.74, 0.45};
+  std::printf("%-24s %16s %12s\n", "configuration", "measured[inst/s]",
+              "paper");
+
+  int i = 0;
+  for (const auto& c : configs) {
+    // Fresh device sim per config so accounting does not mix.  Bandwidths
+    // are scaled so the miniature sample's stage times keep the DGX
+    // ratios: SSD read ~1.5x one sample's compute, paged H2D ~0.3x,
+    // pinned H2D ~0.1x.
+    data::DeviceSimConfig dcfg;
+    dcfg.ssd_bandwidth = 3.5e6;
+    dcfg.h2d_paged_bandwidth = 18e6;
+    dcfg.h2d_pinned_bandwidth = 72e6;
+    data::DeviceSim device(dcfg);
+
+    core::SurrogateConfig mcfg = w.model->config();
+    util::Rng rng(7);
+    core::SurrogateModel model(mcfg, rng);
+
+    core::TrainConfig tcfg;
+    tcfg.epochs = 1;
+    tcfg.lr = 1e-3f;
+    tcfg.use_checkpoint = c.checkpoint;
+    tcfg.batch_size = c.checkpoint ? 2 : 1;  // ckpt frees room for batch 2
+    tcfg.enforce_memory_limit = true;
+    tcfg.loader.num_workers = c.workers;
+    tcfg.loader.pin_memory = c.pin;
+    auto stats = core::train(model, w.train_set, tcfg, &device);
+
+    std::printf("%-24s %16.3f %12.2f\n", c.label, stats.throughput,
+                paper[i]);
+    csv.row(c.label, stats.throughput, paper[i]);
+    ++i;
+  }
+
+  std::printf("\nshape check (paper): our method > w/o ckpt > w/o pin > "
+              "w/o prefetch.\n");
+  std::printf("caveat: the prefetch and pin effects reproduce here (they "
+              "are I/O-overlap properties carried by DeviceSim); the ckpt "
+              "benefit does not, because it comes from A100 batching "
+              "efficiency (batch 2 in < 2x batch-1 time) — on a CPU, "
+              "recompute only adds cost.  See DESIGN.md.\n");
+  return 0;
+}

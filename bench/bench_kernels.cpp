@@ -1,0 +1,121 @@
+/// Micro-benchmarks (google-benchmark) for the hot kernels underlying the
+/// system: tensor matmul/softmax/layernorm, 4-D window partitioning,
+/// attention forward/backward, the shallow-water step, halo exchange, and
+/// FP16 conversion.  These are the knobs the ablations in DESIGN.md call
+/// out; tracking them catches performance regressions.
+
+#include <benchmark/benchmark.h>
+
+#include "core/window4d.hpp"
+#include "nn/attention.hpp"
+#include "ocean/bathymetry.hpp"
+#include "ocean/solver.hpp"
+#include "parallel/decomposition.hpp"
+#include "tensor/half.hpp"
+#include "tensor/tensor.hpp"
+
+using namespace coastal;
+using tensor::Tensor;
+
+static void BM_Matmul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  util::Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  tensor::NoGradGuard ng;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.matmul(b).raw());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+static void BM_SoftmaxLastDim(benchmark::State& state) {
+  util::Rng rng(2);
+  Tensor x = Tensor::randn({256, state.range(0)}, rng);
+  tensor::NoGradGuard ng;
+  for (auto _ : state) benchmark::DoNotOptimize(x.softmax_lastdim().raw());
+}
+BENCHMARK(BM_SoftmaxLastDim)->Arg(64)->Arg(256);
+
+static void BM_LayerNorm(benchmark::State& state) {
+  util::Rng rng(3);
+  Tensor x = Tensor::randn({512, state.range(0)}, rng);
+  Tensor g = Tensor::ones({state.range(0)});
+  Tensor b = Tensor::zeros({state.range(0)});
+  tensor::NoGradGuard ng;
+  for (auto _ : state) benchmark::DoNotOptimize(x.layer_norm(g, b).raw());
+}
+BENCHMARK(BM_LayerNorm)->Arg(32)->Arg(128);
+
+static void BM_WindowPartition(benchmark::State& state) {
+  util::Rng rng(4);
+  Tensor x = Tensor::randn({1, 16, 8, 8, 4, 4}, rng);
+  tensor::NoGradGuard ng;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::window_partition(x, {4, 4, 2, 2}).raw());
+}
+BENCHMARK(BM_WindowPartition);
+
+static void BM_AttentionForward(benchmark::State& state) {
+  util::Rng rng(5);
+  nn::MultiHeadSelfAttention attn(32, 4, rng);
+  Tensor x = Tensor::randn({8, state.range(0), 32}, rng);
+  tensor::NoGradGuard ng;
+  for (auto _ : state) benchmark::DoNotOptimize(attn.forward(x).raw());
+  state.SetLabel("tokens=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_AttentionForward)->Arg(16)->Arg(64);
+
+static void BM_AttentionBackward(benchmark::State& state) {
+  util::Rng rng(6);
+  nn::MultiHeadSelfAttention attn(32, 4, rng);
+  Tensor x = Tensor::randn({4, 32, 32}, rng);
+  for (auto _ : state) {
+    attn.zero_grad();
+    attn.forward(x).sum().backward();
+  }
+}
+BENCHMARK(BM_AttentionBackward);
+
+static void BM_SolverStep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ocean::Grid grid(n, n, 4, 400.0, 400.0);
+  ocean::generate_estuary(grid, ocean::EstuaryParams{}, 1);
+  auto tides = ocean::TidalForcing::gulf_coast_default();
+  ocean::PhysicsParams p;
+  p.dt = 10.0;
+  ocean::TidalModel model(grid, tides, p);
+  for (auto _ : state) model.step();
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_SolverStep)->Arg(32)->Arg(64)->Arg(128);
+
+static void BM_HaloExchange(benchmark::State& state) {
+  // Two ranks trading one ghost ring via the in-process communicator.
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    par::World world(2);
+    world.run([&](par::Comm& comm) {
+      auto tile = par::make_tile(comm.rank(), 1, 2, n, n, 1);
+      std::vector<float> field(
+          static_cast<size_t>(tile.nx_padded()) * tile.ny_padded(), 1.0f);
+      for (int i = 0; i < 50; ++i) par::exchange_halo(comm, tile, field);
+    });
+  }
+}
+BENCHMARK(BM_HaloExchange)->Arg(64);
+
+static void BM_HalfConversion(benchmark::State& state) {
+  util::Rng rng(7);
+  std::vector<float> xs(65536);
+  for (auto& x : xs) x = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    auto h = tensor::to_half(xs);
+    benchmark::DoNotOptimize(tensor::to_float(h).data());
+  }
+  state.SetBytesProcessed(state.iterations() * 65536 * sizeof(float));
+}
+BENCHMARK(BM_HalfConversion);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+/// Table IV: sensitivity to patch size — parameter count, inference time
+/// per instance, and per-variable MAE/RMSE.
+///
+/// Expected shape (matches the paper): the smallest patch has the best
+/// accuracy; larger patches shrink the attention-path parameters but grow
+/// the decoder's transposed-conv parameters; inference time varies only
+/// mildly.
+
+#include "bench_common.hpp"
+#include "core/trainer.hpp"
+#include "util/timer.hpp"
+
+using namespace coastal;
+
+int main() {
+  bench::print_header("Table IV — patch-size sensitivity");
+  auto w = bench::make_mini_world("table4", /*train_model=*/false,
+                                  /*train_hours=*/24, /*test_hours=*/10);
+
+  util::CsvWriter csv(
+      bench::results_dir() + "/table4_patchsize.csv",
+      {"patch", "params_m", "time_per_instance_s", "mae_u", "mae_v", "mae_w",
+       "mae_zeta", "rmse_u", "rmse_v", "rmse_w", "rmse_zeta"});
+  std::printf("%-6s %10s %12s %11s %11s %11s %11s\n", "patch", "params",
+              "time/inst", "MAE u", "MAE v", "MAE w", "MAE zeta");
+
+  // Two-stage models so every patch size tiles the 20x20 mini mesh.
+  for (int64_t patch : {2, 5, 10}) {
+    core::SurrogateConfig cfg;
+    cfg.H = w.train_set.spec.H;
+    cfg.W = w.train_set.spec.W;
+    cfg.D = w.train_set.spec.D;
+    cfg.T = w.train_set.spec.T;
+    cfg.patch_h = patch;
+    cfg.patch_w = patch;
+    cfg.patch_d = 2;
+    cfg.embed_dim = 8;
+    cfg.stages = 2;
+    cfg.heads = {2, 4};
+    util::Rng rng(7);
+    core::SurrogateModel model(cfg, rng);
+
+    core::TrainConfig tcfg;
+    tcfg.epochs = 2;
+    tcfg.lr = 2e-3f;
+    tcfg.loader.num_workers = 1;
+    core::train(model, w.train_set, tcfg);
+
+    // Inference time per instance (median of a few runs).
+    auto store = w.test_set.store();
+    auto sample = store.read(w.test_set.train_indices[0]);
+    model.set_training(false);
+    double best = 1e18;
+    {
+      tensor::NoGradGuard ng;
+      for (int rep = 0; rep < 3; ++rep) {
+        util::Timer t;
+        model.forward_sample(sample);
+        best = std::min(best, t.seconds());
+      }
+    }
+    model.set_training(true);
+
+    auto m = core::evaluate(model, w.test_set, w.test_set.train_indices);
+    const double params_m =
+        static_cast<double>(model.num_parameters()) / 1e6;
+    std::printf("%-6ld %9.3fM %11.3fs %11.3e %11.3e %11.3e %11.3e\n", patch,
+                params_m, best, m.mae[0], m.mae[1], m.mae[2], m.mae[3]);
+    csv.row(patch, params_m, best, m.mae[0], m.mae[1], m.mae[2], m.mae[3],
+            m.rmse[0], m.rmse[1], m.rmse[2], m.rmse[3]);
+  }
+
+  std::printf("\npaper: patch 5 -> 3.39M params, 0.888 s, best MAE; patches "
+              "15/25 -> fewer attention params, worse accuracy.\n");
+  std::printf("shape notes: the parameter trend reproduces (decoder "
+              "transposed-conv params grow with patch size).  The paper's "
+              "accuracy advantage of small patches comes from sub-patch "
+              "coastal structure on the 898x598 mesh; on this 20x20 "
+              "miniature the tidal field is smooth at patch scale, so the "
+              "accuracy ordering need not reproduce — see DESIGN.md.\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file decode.hpp
+/// Conversions between the model's packed tensors and physical
+/// (denormalized) cell-centered fields — the bridge from the surrogate's
+/// output back to oceanographic quantities for verification, evaluation,
+/// and visualization.
+
+#include <vector>
+
+#include "core/surrogate.hpp"
+#include "data/normalization.hpp"
+#include "data/sample.hpp"
+
+namespace coastal::core {
+
+/// Unpack the T predicted frames of a SurrogateOutput (batch size 1) into
+/// denormalized CenterFields on the original (un-padded) mesh.
+std::vector<data::CenterFields> decode_prediction(
+    const data::SampleSpec& spec, const SurrogateOutput& output,
+    const data::Normalizer& norm);
+
+/// Same unpacking for a sample's ground-truth target tensors.
+std::vector<data::CenterFields> decode_target(const data::SampleSpec& spec,
+                                              const data::Sample& sample,
+                                              const data::Normalizer& norm);
+
+/// Pack a (normalized) frame into the t=0 slot of an existing sample's
+/// input tensors — used by the autoregressive rollout to replace the
+/// initial condition with the previous episode's prediction.
+void overwrite_initial_condition(const data::SampleSpec& spec,
+                                 data::Sample& sample,
+                                 const data::CenterFields& frame_normalized);
+
+}  // namespace coastal::core

@@ -1,0 +1,96 @@
+#include "core/patch_ops.hpp"
+
+namespace coastal::core {
+
+Tensor fold_time(const Tensor& x) {
+  const size_t nd = x.ndim();
+  COASTAL_CHECK(nd >= 3);
+  // [B, C, s..., T] -> [B, T, C, s...]
+  std::vector<size_t> perm(nd);
+  perm[0] = 0;
+  perm[1] = nd - 1;
+  for (size_t i = 2; i < nd; ++i) perm[i] = i - 1;
+  Tensor p = x.permute(perm);
+  tensor::Shape s = p.shape();
+  tensor::Shape folded;
+  folded.push_back(s[0] * s[1]);
+  for (size_t i = 2; i < nd; ++i) folded.push_back(s[i]);
+  return p.reshape(folded);
+}
+
+Tensor unfold_time(const Tensor& x, int64_t batch, int64_t time) {
+  const size_t nd = x.ndim();
+  tensor::Shape s = x.shape();
+  COASTAL_CHECK(s[0] == batch * time);
+  tensor::Shape expanded;
+  expanded.push_back(batch);
+  expanded.push_back(time);
+  for (size_t i = 1; i < nd; ++i) expanded.push_back(s[i]);
+  Tensor r = x.reshape(expanded);
+  // [B, T, C, s...] -> [B, C, s..., T]
+  std::vector<size_t> perm(nd + 1);
+  perm[0] = 0;
+  for (size_t i = 1; i < nd; ++i) perm[i] = i + 1;
+  perm[nd] = 1;
+  return r.permute(perm);
+}
+
+PatchEmbed4d::PatchEmbed4d(int64_t embed_dim, int64_t patch_h, int64_t patch_w,
+                           int64_t patch_d, util::Rng& rng)
+    : dim_(embed_dim), ph_(patch_h), pw_(patch_w), pd_(patch_d) {
+  embed3d_ = register_module<nn::PatchConvNd>(
+      "embed3d", 3, embed_dim,
+      std::vector<int64_t>{patch_h, patch_w, patch_d}, rng);
+  embed2d_ = register_module<nn::PatchConvNd>(
+      "embed2d", 1, embed_dim, std::vector<int64_t>{patch_h, patch_w}, rng);
+}
+
+Tensor PatchEmbed4d::forward(const Tensor& volume,
+                             const Tensor& surface) const {
+  COASTAL_CHECK(volume.ndim() == 6 && surface.ndim() == 5);
+  const int64_t B = volume.shape()[0];
+  const int64_t Tn = volume.shape()[5];
+  COASTAL_CHECK(surface.shape()[4] == Tn);
+
+  // 3-D branch: [B*Tn, 3, H, W, D] -> [B*Tn, C, H', W', D'].
+  Tensor vol_tokens = embed3d_->forward(fold_time(volume));
+  Tensor vol_embed = unfold_time(vol_tokens, B, Tn);  // [B, C, H', W', D', Tn]
+
+  // 2-D branch: [B*Tn, 1, H, W] -> [B*Tn, C, H', W'] -> depth slice.
+  Tensor surf_tokens = embed2d_->forward(fold_time(surface));
+  Tensor surf_embed = unfold_time(surf_tokens, B, Tn);  // [B, C, H', W', Tn]
+  tensor::Shape s = surf_embed.shape();
+  Tensor surf_slice =
+      surf_embed.reshape({s[0], s[1], s[2], s[3], 1, s[4]});
+
+  // Concatenate along depth (axis 4): the surface rides on top of the
+  // water column.
+  return tensor::concat({vol_embed, surf_slice}, 4);
+}
+
+PositionalEmbedding4d::PositionalEmbedding4d(int64_t dim, int64_t H, int64_t W,
+                                             int64_t D, int64_t T,
+                                             util::Rng& rng) {
+  spatial_ = register_parameter(
+      "spatial", Tensor::randn({1, dim, H, W, D, 1}, rng, 0.02f));
+  temporal_ = register_parameter(
+      "temporal", Tensor::randn({1, dim, 1, 1, 1, T}, rng, 0.02f));
+}
+
+Tensor PositionalEmbedding4d::forward(const Tensor& x) const {
+  return x.add(spatial_).add(temporal_);
+}
+
+PatchMerging4d::PatchMerging4d(int64_t dim, util::Rng& rng) {
+  merge_ = register_module<nn::PatchConvNd>(
+      "merge", dim, 2 * dim, std::vector<int64_t>{2, 2, 2}, rng);
+}
+
+Tensor PatchMerging4d::forward(const Tensor& x) const {
+  const FeatureDims d = FeatureDims::of(x);
+  Tensor folded = fold_time(x);
+  Tensor merged = merge_->forward(folded);
+  return unfold_time(merged, d.B, d.T);
+}
+
+}  // namespace coastal::core

@@ -1,0 +1,89 @@
+#include "core/rollout.hpp"
+
+#include "core/decode.hpp"
+#include "util/check.hpp"
+
+namespace coastal::core {
+
+namespace {
+
+data::CenterFields renormalize(const data::CenterFields& denorm,
+                               const data::Normalizer& norm) {
+  data::CenterFields f = denorm;
+  norm.normalize_fields(f);
+  return f;
+}
+
+}  // namespace
+
+std::vector<data::CenterFields> rollout(
+    SurrogateModel& model, const data::SampleSpec& spec,
+    const data::Normalizer& norm,
+    std::span<const data::CenterFields> truth, int episodes) {
+  const int T = spec.T;
+  COASTAL_CHECK_MSG(
+      truth.size() >= static_cast<size_t>(episodes * T + 1),
+      "rollout needs " << episodes * T + 1 << " frames, got " << truth.size());
+  model.set_training(false);
+  tensor::NoGradGuard ng;
+
+  std::vector<data::CenterFields> predictions;
+  predictions.reserve(static_cast<size_t>(episodes * T));
+  data::CenterFields ic_normalized;  // replaces truth IC after episode 0
+
+  for (int e = 0; e < episodes; ++e) {
+    std::span<const data::CenterFields> window =
+        truth.subspan(static_cast<size_t>(e * T), static_cast<size_t>(T) + 1);
+    data::Sample sample = make_sample(spec, window);
+    if (e > 0) overwrite_initial_condition(spec, sample, ic_normalized);
+
+    SurrogateOutput out = model.forward_sample(sample, false);
+    auto frames = decode_prediction(spec, out, norm);
+    ic_normalized = renormalize(frames.back(), norm);
+    for (auto& f : frames) predictions.push_back(std::move(f));
+  }
+  model.set_training(true);
+  return predictions;
+}
+
+std::vector<data::CenterFields> dual_rollout(
+    SurrogateModel& coarse_model, SurrogateModel& fine_model,
+    const data::SampleSpec& coarse_spec, const data::SampleSpec& fine_spec,
+    const data::Normalizer& norm,
+    std::span<const data::CenterFields> coarse_truth,
+    std::span<const data::CenterFields> fine_truth, int coarse_episodes) {
+  const int Tc = coarse_spec.T;
+  const int Tf = fine_spec.T;
+  const int coarse_steps = coarse_episodes * Tc;
+  COASTAL_CHECK(fine_truth.size() >=
+                static_cast<size_t>(coarse_steps * Tf + 1));
+
+  // Stage 1: coarse horizon.
+  auto coarse_frames =
+      rollout(coarse_model, coarse_spec, norm, coarse_truth, coarse_episodes);
+
+  fine_model.set_training(false);
+  tensor::NoGradGuard ng;
+
+  // Stage 2: each coarse frame (or the true IC for the first segment)
+  // seeds one fine episode.
+  std::vector<data::CenterFields> out;
+  out.reserve(static_cast<size_t>(coarse_steps * Tf));
+  for (int c = 0; c < coarse_steps; ++c) {
+    std::span<const data::CenterFields> window = fine_truth.subspan(
+        static_cast<size_t>(c * Tf), static_cast<size_t>(Tf) + 1);
+    data::Sample sample = make_sample(fine_spec, window);
+    if (c > 0) {
+      data::CenterFields ic = coarse_frames[static_cast<size_t>(c - 1)];
+      norm.normalize_fields(ic);
+      overwrite_initial_condition(fine_spec, sample, ic);
+    }
+    SurrogateOutput o = fine_model.forward_sample(sample, false);
+    for (auto& f : decode_prediction(fine_spec, o, norm))
+      out.push_back(std::move(f));
+  }
+  fine_model.set_training(true);
+  return out;
+}
+
+}  // namespace coastal::core

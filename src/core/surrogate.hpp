@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file surrogate.hpp
+/// The paper's AI surrogate (Fig. 2): encoder-decoder 4-D Swin Transformer
+/// that maps (initial condition at t=0, boundary conditions at t=1..T) to
+/// the interior fields at t=1..T.
+///
+/// Encoder: joint 3-D/2-D patch embedding, positional encoding, then
+/// `stages` levels of [SwinBlockPair -> PatchMerging], keeping each
+/// level's features for U-Net skip connections.
+/// Decoder: per level, kernel==stride transposed conv + BatchNorm + GELU,
+/// concat with the encoder skip, 1x1 conv; finally the merged features
+/// split into the 3-D and 2-D heads (transposed conv + BN + GELU + 1x1
+/// conv) recovering the original resolution.
+
+#include <memory>
+#include <vector>
+
+#include "core/patch_ops.hpp"
+#include "core/swin_block.hpp"
+#include "data/sample.hpp"
+#include "nn/layers.hpp"
+
+namespace coastal::core {
+
+struct SurrogateConfig {
+  // Mesh / sample geometry (must match the data::SampleSpec).
+  int64_t H = 0, W = 0, D = 0;  ///< padded mesh dims
+  int64_t T = 0;                ///< forecast steps; input carries T+1 frames
+
+  // Architecture (defaults mirror Sec. IV-B at miniature scale).
+  int64_t patch_h = 5, patch_w = 5, patch_d = 2;
+  int64_t embed_dim = 24;
+  int stages = 3;
+  std::vector<int64_t> heads = {3, 6, 12};
+  Window4d window_first = {4, 4, 2, 2};
+  Window4d window_rest = {2, 2, 2, 2};
+  int64_t mlp_ratio = 2;
+
+  /// Embedded grid dims (before the +1 surface slice is appended).
+  int64_t h1() const { return H / patch_h; }
+  int64_t w1() const { return W / patch_w; }
+  int64_t d1() const { return D / patch_d + 1; }  // +1: surface slice
+  int64_t tn() const { return T + 1; }
+
+  void validate() const;
+};
+
+struct SurrogateOutput {
+  Tensor volume;   ///< [B, 3, H, W, D, T]
+  Tensor surface;  ///< [B, 1, H, W, T]
+};
+
+class SurrogateModel : public nn::Module {
+ public:
+  SurrogateModel(const SurrogateConfig& config, util::Rng& rng);
+
+  /// volume [B, 3, H, W, D, T+1], surface [B, 1, H, W, T+1].
+  SurrogateOutput forward(const Tensor& volume, const Tensor& surface,
+                          bool use_checkpoint = false);
+
+  /// Convenience wrapper for an unbatched data::Sample.
+  SurrogateOutput forward_sample(const data::Sample& sample,
+                                 bool use_checkpoint = false);
+
+  const SurrogateConfig& config() const { return cfg_; }
+
+ private:
+  SurrogateConfig cfg_;
+
+  std::shared_ptr<PatchEmbed4d> embed_;
+  std::shared_ptr<PositionalEmbedding4d> pos_;
+  std::vector<std::shared_ptr<SwinBlockPair4d>> stages_;
+  std::vector<std::shared_ptr<PatchMerging4d>> merges_;
+
+  struct UpStage {
+    std::shared_ptr<nn::PatchConvTransposeNd> up;
+    std::shared_ptr<nn::BatchNorm> bn;
+    std::shared_ptr<nn::PointwiseConvNd> fuse;  ///< after skip concat
+  };
+  std::vector<UpStage> ups_;
+
+  // Patch-recovery heads.
+  std::shared_ptr<nn::PatchConvTransposeNd> recover3d_;
+  std::shared_ptr<nn::BatchNorm> bn3d_;
+  std::shared_ptr<nn::PointwiseConvNd> head3d_;
+  std::shared_ptr<nn::PatchConvTransposeNd> recover2d_;
+  std::shared_ptr<nn::BatchNorm> bn2d_;
+  std::shared_ptr<nn::PointwiseConvNd> head2d_;
+};
+
+}  // namespace coastal::core

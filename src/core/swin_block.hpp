@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file swin_block.hpp
+/// The 4-D Swin Transformer block pair of Eq. 3:
+///   z_hat = W-MSA(LN(z)) + z;      z = MLP(LN(z_hat)) + z_hat
+///   z_hat = SW-MSA(LN(z)) + z;     z = MLP(LN(z_hat)) + z_hat
+/// operating on feature maps [B, C, H, W, D, T].
+
+#include <memory>
+#include <unordered_map>
+
+#include "core/window4d.hpp"
+#include "nn/attention.hpp"
+#include "nn/checkpoint.hpp"
+
+namespace coastal::core {
+
+/// One (shifted or not) windowed-attention block.
+class SwinBlock4d : public nn::Module {
+ public:
+  SwinBlock4d(int64_t dim, int64_t heads, Window4d window, bool shifted,
+              util::Rng& rng, int64_t mlp_ratio = 2);
+
+  /// x: [B, C, H, W, D, T].  When `use_checkpoint` is true the whole block
+  /// runs under activation checkpointing (Sec. III-D's memory
+  /// optimization at block granularity).
+  Tensor forward(const Tensor& x, bool use_checkpoint = false);
+
+  const Window4d& window() const { return window_; }
+  bool shifted() const { return shifted_; }
+
+ private:
+  Tensor forward_impl(const Tensor& x);
+  /// Shift for SW-MSA: half the window on each axis (0 when the axis has
+  /// a single window, where shifting is a no-op).
+  Window4d shift_for(const FeatureDims& d) const;
+  const Tensor& mask_for(const FeatureDims& d, const Window4d& shift);
+
+  int64_t dim_, heads_;
+  Window4d window_;
+  bool shifted_;
+  std::shared_ptr<nn::LayerNorm> norm1_, norm2_;
+  std::shared_ptr<nn::MultiHeadSelfAttention> attn_;
+  std::shared_ptr<nn::Mlp> mlp_;
+  /// Mask cache keyed by the feature shape (masks depend only on dims).
+  std::unordered_map<std::string, Tensor> mask_cache_;
+};
+
+/// W-MSA block followed by SW-MSA block — "two successive 4D Swin
+/// Transformer blocks" of Fig. 3(b).
+class SwinBlockPair4d : public nn::Module {
+ public:
+  SwinBlockPair4d(int64_t dim, int64_t heads, Window4d window, util::Rng& rng);
+
+  Tensor forward(const Tensor& x, bool use_checkpoint = false);
+
+ private:
+  std::shared_ptr<SwinBlock4d> wmsa_, swmsa_;
+};
+
+}  // namespace coastal::core

@@ -1,0 +1,214 @@
+#include "core/trainer.hpp"
+
+#include <cmath>
+
+#include "core/decode.hpp"
+#include "nn/optimizer.hpp"
+#include "parallel/communicator.hpp"
+#include "util/logging.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace coastal::core {
+
+namespace {
+
+/// Bytes of one sample's input+target tensors in FP32 (what moves host to
+/// device each step).
+uint64_t sample_device_bytes(const data::SampleSpec& spec) {
+  return static_cast<uint64_t>(spec.total_numel()) * sizeof(float);
+}
+
+Tensor sample_loss(SurrogateModel& model, const data::Sample& sample,
+                   bool use_checkpoint) {
+  SurrogateOutput out = model.forward_sample(sample, use_checkpoint);
+  tensor::Shape vs = sample.target_volume.shape();
+  tensor::Shape ss = sample.target_surface.shape();
+  tensor::Shape bvs{1};
+  bvs.insert(bvs.end(), vs.begin(), vs.end());
+  tensor::Shape bss{1};
+  bss.insert(bss.end(), ss.begin(), ss.end());
+  Tensor lv = tensor::mse_loss(out.volume, sample.target_volume.reshape(bvs));
+  Tensor ls = tensor::mse_loss(out.surface, sample.target_surface.reshape(bss));
+  return lv.add(ls);
+}
+
+}  // namespace
+
+TrainStats train(SurrogateModel& model, const data::Dataset& dataset,
+                 const TrainConfig& config, data::DeviceSim* device) {
+  if (config.enforce_memory_limit) {
+    // The paper's A100 fits batch 1 without activation checkpointing and
+    // batch 2 with it; honour that memory-capacity coupling.
+    const int max_batch = config.use_checkpoint ? 2 : 1;
+    COASTAL_CHECK_MSG(config.batch_size <= max_batch,
+                      "batch " << config.batch_size
+                               << " exceeds simulated GPU memory (max "
+                               << max_batch << (config.use_checkpoint
+                                                    ? " with" : " without")
+                               << " checkpointing)");
+  }
+
+  auto store = dataset.store();
+  nn::Adam opt(model.parameters(), config.lr);
+  model.set_training(true);
+
+  TrainStats stats;
+  util::Timer timer;
+  tensor::reset_peak_bytes();
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    data::DataLoader loader(store, dataset.train_indices, config.loader,
+                            device);
+    double epoch_loss = 0.0;
+    size_t epoch_samples = 0;
+    int in_batch = 0;
+    while (auto sample = loader.next()) {
+      if (device)
+        device->h2d_copy(sample_device_bytes(dataset.spec), sample->pinned);
+      Tensor loss = sample_loss(model, *sample, config.use_checkpoint);
+      // Scale so accumulated gradients average over the batch.
+      loss.mul_scalar(1.0f / static_cast<float>(config.batch_size))
+          .backward();
+      epoch_loss += loss.item();
+      ++epoch_samples;
+      ++stats.samples_seen;
+      if (++in_batch == config.batch_size) {
+        nn::clip_grad_norm(opt.params(), config.clip_norm);
+        opt.step();
+        opt.zero_grad();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {  // trailing partial batch
+      nn::clip_grad_norm(opt.params(), config.clip_norm);
+      opt.step();
+      opt.zero_grad();
+    }
+    stats.final_train_loss =
+        epoch_samples ? epoch_loss / static_cast<double>(epoch_samples) : 0.0;
+    LOG_INFO << "epoch " << epoch << " train loss " << stats.final_train_loss;
+  }
+
+  stats.wall_seconds = timer.seconds();
+  stats.throughput = stats.samples_seen / std::max(1e-9, stats.wall_seconds);
+  stats.peak_activation_bytes = tensor::alloc_stats().peak_bytes;
+  if (!dataset.val_indices.empty())
+    stats.val_loss = validation_loss(model, dataset);
+  return stats;
+}
+
+double validation_loss(SurrogateModel& model, const data::Dataset& dataset) {
+  auto store = dataset.store();
+  model.set_training(false);
+  tensor::NoGradGuard ng;
+  double total = 0.0;
+  for (size_t idx : dataset.val_indices) {
+    data::Sample s = store.read(idx);
+    total += sample_loss(model, s, false).item();
+  }
+  model.set_training(true);
+  return dataset.val_indices.empty()
+             ? 0.0
+             : total / static_cast<double>(dataset.val_indices.size());
+}
+
+ParallelTrainStats train_data_parallel(const SurrogateConfig& model_config,
+                                       const data::Dataset& dataset,
+                                       const TrainConfig& config, int nranks,
+                                       int steps_per_rank) {
+  COASTAL_CHECK(nranks >= 1 && steps_per_rank >= 1);
+  ParallelTrainStats stats;
+  std::mutex stats_mutex;
+
+  util::Timer timer;
+  par::World world(nranks);
+  world.run([&](par::Comm& comm) {
+    // Identical init on every rank: same seed -> bit-identical replicas.
+    util::Rng rng(config.seed);
+    SurrogateModel model(model_config, rng);
+    nn::Adam opt(model.parameters(), config.lr);
+    auto store = dataset.store();
+
+    const size_t shard = dataset.train_indices.size();
+    size_t seen = 0;
+    std::vector<float> flat;
+    for (int step = 0; step < steps_per_rank; ++step) {
+      // Round-robin sharding: rank r takes indices r, r+nranks, ...
+      const size_t pos =
+          (static_cast<size_t>(step) * static_cast<size_t>(nranks) +
+           static_cast<size_t>(comm.rank())) % shard;
+      data::Sample sample = store.read(dataset.train_indices[pos]);
+      Tensor loss = sample_loss(model, sample, config.use_checkpoint);
+      loss.backward();
+      ++seen;
+
+      // Gradient allreduce: flatten, sum, average, scatter back.
+      size_t total = 0;
+      for (auto& p : opt.params()) total += static_cast<size_t>(p.numel());
+      flat.assign(total, 0.0f);
+      size_t off = 0;
+      for (auto& p : opt.params()) {
+        Tensor g = p.grad();
+        if (g.defined())
+          std::copy(g.data().begin(), g.data().end(), flat.begin() + off);
+        off += static_cast<size_t>(p.numel());
+      }
+      comm.allreduce_sum(flat);
+      const float inv = 1.0f / static_cast<float>(nranks);
+      off = 0;
+      for (const auto& pc : opt.params()) {
+        Tensor p = pc;  // Tensor is a shared handle; copy is cheap
+        p.zero_grad();
+        const auto n = static_cast<size_t>(p.numel());
+        std::vector<float> g(flat.begin() + off, flat.begin() + off + n);
+        for (auto& x : g) x *= inv;
+        p.accumulate_grad(Tensor::from_vector(p.shape(), std::move(g)));
+        off += n;
+      }
+      nn::clip_grad_norm(opt.params(), config.clip_norm);
+      opt.step();
+      opt.zero_grad();
+    }
+
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    stats.samples_seen += seen;
+    stats.allreduce_bytes = comm.bytes_sent();
+  });
+  stats.wall_seconds = timer.seconds();
+  stats.throughput =
+      static_cast<double>(stats.samples_seen) / std::max(1e-9, stats.wall_seconds);
+  return stats;
+}
+
+EvalMetrics evaluate(SurrogateModel& model, const data::Dataset& dataset,
+                     const std::vector<size_t>& indices) {
+  auto store = dataset.store();
+  model.set_training(false);
+  tensor::NoGradGuard ng;
+  util::ErrorStats err[data::kNumVariables];
+
+  for (size_t idx : indices) {
+    data::Sample s = store.read(idx);
+    SurrogateOutput out = model.forward_sample(s, false);
+    auto pred = decode_prediction(dataset.spec, out, dataset.normalizer);
+    auto truth = decode_target(dataset.spec, s, dataset.normalizer);
+    COASTAL_CHECK(pred.size() == truth.size());
+    for (size_t t = 0; t < pred.size(); ++t) {
+      err[data::kU].add(pred[t].u, truth[t].u);
+      err[data::kV].add(pred[t].v, truth[t].v);
+      err[data::kW].add(pred[t].w, truth[t].w);
+      err[data::kZeta].add(pred[t].zeta, truth[t].zeta);
+    }
+  }
+  model.set_training(true);
+
+  EvalMetrics m;
+  for (int v = 0; v < data::kNumVariables; ++v) {
+    m.mae[v] = err[v].mae();
+    m.rmse[v] = err[v].rmse();
+  }
+  return m;
+}
+
+}  // namespace coastal::core

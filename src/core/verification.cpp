@@ -1,0 +1,104 @@
+#include "core/verification.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace coastal::core {
+
+namespace {
+
+/// Depth-average a layered field at one cell with the grid's sigma
+/// thicknesses.
+double depth_average(const ocean::Grid& grid, const data::CenterFields& f,
+                     const std::vector<float>& layered, int iy, int ix) {
+  double avg = 0.0;
+  for (int k = 0; k < f.nz; ++k)
+    avg += layered[f.cell3(k, iy, ix)] *
+           grid.sigma_thickness()[static_cast<size_t>(k)];
+  return avg;
+}
+
+}  // namespace
+
+VerificationResult MassVerifier::check_pair(const data::CenterFields& a,
+                                            const data::CenterFields& b,
+                                            double dt_seconds) const {
+  COASTAL_CHECK(a.nx == grid_.nx() && a.ny == grid_.ny());
+  COASTAL_CHECK(b.nx == grid_.nx() && b.ny == grid_.ny());
+  COASTAL_CHECK(dt_seconds > 0);
+
+  double sum = 0.0, worst = 0.0;
+  size_t count = 0;
+  const int nx = grid_.nx(), ny = grid_.ny();
+
+  // Face transport from cell-centered values: average the two adjacent
+  // centers (both depth and velocity), zero across land and domain edges
+  // except the open west boundary where the one-sided value is used.
+  auto ucell = [&](int ix, int iy) {
+    return depth_average(grid_, b, b.u, iy, ix);
+  };
+  auto vcell = [&](int ix, int iy) {
+    return depth_average(grid_, b, b.v, iy, ix);
+  };
+  auto depth = [&](int ix, int iy) {
+    return grid_.h(ix, iy) + b.zeta[b.cell2(iy, ix)];
+  };
+
+  for (int iy = 0; iy < ny; ++iy) {
+    for (int ix = 0; ix < nx; ++ix) {
+      if (!grid_.wet(ix, iy)) continue;
+
+      auto flux_x = [&](int face) -> double {  // positive eastward
+        if (face == 0) {
+          // Open boundary: one-sided.
+          return grid_.wet(0, iy) ? depth(0, iy) * ucell(0, iy) : 0.0;
+        }
+        if (face == nx) return 0.0;
+        if (!grid_.wet(face - 1, iy) || !grid_.wet(face, iy)) return 0.0;
+        return 0.5 * (depth(face - 1, iy) + depth(face, iy)) * 0.5 *
+               (ucell(face - 1, iy) + ucell(face, iy));
+      };
+      auto flux_y = [&](int face) -> double {
+        if (face == 0 || face == ny) return 0.0;
+        if (!grid_.wet(ix, face - 1) || !grid_.wet(ix, face)) return 0.0;
+        return 0.5 * (depth(ix, face - 1) + depth(ix, face)) * 0.5 *
+               (vcell(ix, face - 1) + vcell(ix, face));
+      };
+
+      const double div = (flux_x(ix + 1) - flux_x(ix)) / grid_.dx(ix) +
+                         (flux_y(iy + 1) - flux_y(iy)) / grid_.dy(iy);
+      const double dzdt =
+          (b.zeta[b.cell2(iy, ix)] - a.zeta[a.cell2(iy, ix)]) / dt_seconds;
+      const double residual = std::abs(dzdt + div);
+      sum += residual;
+      worst = std::max(worst, residual);
+      ++count;
+    }
+  }
+
+  VerificationResult r;
+  r.mean_residual = count ? sum / static_cast<double>(count) : 0.0;
+  r.max_residual = worst;
+  r.pass = r.mean_residual < threshold_;
+  return r;
+}
+
+VerificationResult MassVerifier::check_sequence(
+    std::span<const data::CenterFields> frames, double dt_seconds) const {
+  COASTAL_CHECK_MSG(frames.size() >= 2, "need at least two frames");
+  VerificationResult agg;
+  agg.pass = true;
+  double sum = 0.0;
+  for (size_t i = 0; i + 1 < frames.size(); ++i) {
+    const auto r = check_pair(frames[i], frames[i + 1], dt_seconds);
+    sum += r.mean_residual;
+    agg.max_residual = std::max(agg.max_residual, r.max_residual);
+    agg.pass = agg.pass && r.pass;
+  }
+  agg.mean_residual = sum / static_cast<double>(frames.size() - 1);
+  return agg;
+}
+
+}  // namespace coastal::core

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file verification.hpp
+/// Physics-based result verification (Sec. III-E).
+///
+/// The conservation of water mass (Eq. 4) requires the rate of change of
+/// column volume to equal the net flux through the column walls:
+///   d/dt [ (h + zeta) * A ] = sum_faces (h + zeta)_face * u_face . n * L
+/// The residual (Eq. 5), normalized per unit area so its unit is m/s, is
+/// computed per wet cell from two consecutive snapshots; a forecast passes
+/// when the mean residual is below the threshold.  Oceanographers accept
+/// residuals below ~5e-4 m/s at the paper's scale; thresholds here are in
+/// the same unit and swept by the Fig. 7/8 benches.
+
+#include <span>
+
+#include "data/center_fields.hpp"
+#include "data/normalization.hpp"
+#include "ocean/grid.hpp"
+
+namespace coastal::core {
+
+struct VerificationResult {
+  double mean_residual = 0.0;  ///< m/s, averaged over wet cells
+  double max_residual = 0.0;
+  bool pass = false;
+};
+
+class MassVerifier {
+ public:
+  MassVerifier(const ocean::Grid& grid, double threshold_ms)
+      : grid_(grid), threshold_(threshold_ms) {}
+
+  double threshold() const { return threshold_; }
+
+  /// Residual between consecutive cell-centered snapshots `a` (t) and `b`
+  /// (t + dt).  Velocities are depth-averaged from the sigma layers of `b`.
+  VerificationResult check_pair(const data::CenterFields& a,
+                                const data::CenterFields& b,
+                                double dt_seconds) const;
+
+  /// Verify a whole forecast episode: first frame is the initial
+  /// condition.  Mean/max aggregate over all consecutive pairs; `pass`
+  /// requires every pair's mean to beat the threshold.
+  VerificationResult check_sequence(std::span<const data::CenterFields> frames,
+                                    double dt_seconds) const;
+
+ private:
+  const ocean::Grid& grid_;
+  double threshold_;
+};
+
+}  // namespace coastal::core

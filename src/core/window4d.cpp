@@ -1,0 +1,130 @@
+#include "core/window4d.hpp"
+
+#include "util/check.hpp"
+
+namespace coastal::core {
+
+FeatureDims FeatureDims::of(const Tensor& x) {
+  COASTAL_CHECK_MSG(x.ndim() == 6,
+                    "expected [B,C,H,W,D,T], got " << tensor::shape_str(x.shape()));
+  return {x.shape()[0], x.shape()[1], x.shape()[2],
+          x.shape()[3], x.shape()[4], x.shape()[5]};
+}
+
+void check_window_divides(const FeatureDims& d, const Window4d& w) {
+  COASTAL_CHECK_MSG(d.H % w[0] == 0 && d.W % w[1] == 0 && d.D % w[2] == 0 &&
+                        d.T % w[3] == 0,
+                    "window (" << w[0] << "," << w[1] << "," << w[2] << ","
+                               << w[3] << ") does not divide feature dims ("
+                               << d.H << "," << d.W << "," << d.D << ","
+                               << d.T << ")");
+}
+
+Tensor window_partition(const Tensor& x, const Window4d& w) {
+  const FeatureDims d = FeatureDims::of(x);
+  check_window_divides(d, w);
+  const int64_t nh = d.H / w[0], nw = d.W / w[1], nd = d.D / w[2],
+                nt = d.T / w[3];
+  // [B, C, nh, mh, nw, mw, nd, md, nt, mt]
+  Tensor r = x.reshape({d.B, d.C, nh, w[0], nw, w[1], nd, w[2], nt, w[3]});
+  // -> [B, nh, nw, nd, nt, mh, mw, md, mt, C]
+  Tensor p = r.permute({0, 2, 4, 6, 8, 3, 5, 7, 9, 1});
+  const int64_t nwin = nh * nw * nd * nt;
+  const int64_t N = w[0] * w[1] * w[2] * w[3];
+  return p.reshape({d.B * nwin, N, d.C});
+}
+
+Tensor window_reverse(const Tensor& tokens, const FeatureDims& d,
+                      const Window4d& w) {
+  const int64_t nh = d.H / w[0], nw = d.W / w[1], nd = d.D / w[2],
+                nt = d.T / w[3];
+  Tensor r = tokens.reshape({d.B, nh, nw, nd, nt, w[0], w[1], w[2], w[3], d.C});
+  // inverse of {0, 2, 4, 6, 8, 3, 5, 7, 9, 1}: position of axis i of the
+  // original layout in the permuted layout.
+  Tensor p = r.permute({0, 9, 1, 5, 2, 6, 3, 7, 4, 8});
+  return p.reshape({d.B, d.C, d.H, d.W, d.D, d.T});
+}
+
+Tensor cyclic_shift(const Tensor& x, const Window4d& shift) {
+  Tensor out = x;
+  for (int axis = 0; axis < 4; ++axis) {
+    if (shift[static_cast<size_t>(axis)] != 0)
+      out = out.roll(axis + 2, -shift[static_cast<size_t>(axis)]);
+  }
+  return out;
+}
+
+Tensor cyclic_unshift(const Tensor& x, const Window4d& shift) {
+  Tensor out = x;
+  for (int axis = 0; axis < 4; ++axis) {
+    if (shift[static_cast<size_t>(axis)] != 0)
+      out = out.roll(axis + 2, shift[static_cast<size_t>(axis)]);
+  }
+  return out;
+}
+
+Tensor shifted_window_mask(const FeatureDims& dims, const Window4d& w,
+                           const Window4d& shift) {
+  check_window_divides(dims, w);
+  // Label every position of the (rolled) grid with its pre-shift region.
+  // Along one axis with window m and shift s, the standard Swin regions
+  // are [0, size-m), [size-m, size-s), [size-s, size): after rolling by
+  // -s these land so that a window may straddle at most one region
+  // boundary per axis.
+  const std::array<int64_t, 4> sizes{dims.H, dims.W, dims.D, dims.T};
+  std::array<std::vector<int>, 4> axis_label;
+  for (size_t a = 0; a < 4; ++a) {
+    axis_label[a].resize(static_cast<size_t>(sizes[a]));
+    const int64_t m = w[a], s = shift[a];
+    for (int64_t i = 0; i < sizes[a]; ++i) {
+      // Standard Swin labelling, applied to *rolled* positions: the last
+      // window mixes the rolled-in tail ([size-m, size-s)) with the
+      // wrapped-around head ([size-s, size)); everything before it is one
+      // contiguous region.
+      int label = 0;
+      if (s > 0) {
+        if (i >= sizes[a] - m && i < sizes[a] - s) label = 1;
+        else if (i >= sizes[a] - s) label = 2;
+      }
+      axis_label[a][static_cast<size_t>(i)] = label;
+    }
+  }
+
+  const int64_t nh = dims.H / w[0], nw = dims.W / w[1], nd = dims.D / w[2],
+                nt = dims.T / w[3];
+  const int64_t nwin = nh * nw * nd * nt;
+  const int64_t N = w[0] * w[1] * w[2] * w[3];
+
+  // Region id per token of each window.
+  std::vector<int> region(static_cast<size_t>(nwin * N));
+  int64_t widx = 0;
+  for (int64_t wh = 0; wh < nh; ++wh)
+    for (int64_t ww = 0; ww < nw; ++ww)
+      for (int64_t wd = 0; wd < nd; ++wd)
+        for (int64_t wt = 0; wt < nt; ++wt, ++widx) {
+          int64_t tok = 0;
+          for (int64_t ih = 0; ih < w[0]; ++ih)
+            for (int64_t iw = 0; iw < w[1]; ++iw)
+              for (int64_t id = 0; id < w[2]; ++id)
+                for (int64_t it = 0; it < w[3]; ++it, ++tok) {
+                  const int lh = axis_label[0][static_cast<size_t>(wh * w[0] + ih)];
+                  const int lw = axis_label[1][static_cast<size_t>(ww * w[1] + iw)];
+                  const int ld = axis_label[2][static_cast<size_t>(wd * w[2] + id)];
+                  const int lt = axis_label[3][static_cast<size_t>(wt * w[3] + it)];
+                  region[static_cast<size_t>(widx * N + tok)] =
+                      ((lh * 3 + lw) * 3 + ld) * 3 + lt;
+                }
+        }
+
+  std::vector<float> mask(static_cast<size_t>(nwin * N * N), 0.0f);
+  for (int64_t b = 0; b < nwin; ++b)
+    for (int64_t i = 0; i < N; ++i)
+      for (int64_t j = 0; j < N; ++j) {
+        if (region[static_cast<size_t>(b * N + i)] !=
+            region[static_cast<size_t>(b * N + j)])
+          mask[static_cast<size_t>((b * N + i) * N + j)] = -1e9f;
+      }
+  return Tensor::from_vector({nwin, N, N}, std::move(mask));
+}
+
+}  // namespace coastal::core

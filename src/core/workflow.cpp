@@ -1,0 +1,140 @@
+#include "core/workflow.hpp"
+
+#include "core/decode.hpp"
+#include "data/dataset.hpp"
+#include "util/timer.hpp"
+
+namespace coastal::core {
+
+ocean::TidalModel restart_from_fields(const ocean::Grid& grid,
+                                      const ocean::TidalForcing& tides,
+                                      const ocean::PhysicsParams& params,
+                                      const data::CenterFields& state,
+                                      double start_time) {
+  COASTAL_CHECK(state.nx == grid.nx() && state.ny == grid.ny() &&
+                state.nz == grid.nz());
+  ocean::TidalModel model(grid, tides, params);
+  auto& slab = model.slab();
+  slab.set_time(start_time);
+
+  auto depth_avg = [&](const std::vector<float>& layered, int iy, int ix) {
+    double a = 0.0;
+    for (int k = 0; k < state.nz; ++k)
+      a += layered[state.cell3(k, iy, ix)] *
+           grid.sigma_thickness()[static_cast<size_t>(k)];
+    return a;
+  };
+
+  for (int iy = 0; iy < grid.ny(); ++iy) {
+    auto zrow = slab.zeta_row(iy);
+    auto urow = slab.u_row(iy);
+    for (int ix = 0; ix < grid.nx(); ++ix) {
+      if (grid.wet(ix, iy))
+        zrow[static_cast<size_t>(ix)] = state.zeta[state.cell2(iy, ix)];
+    }
+    // u faces: interior faces from the two adjacent cells; open-boundary
+    // and edge faces one-sided.
+    for (int ix = 0; ix <= grid.nx(); ++ix) {
+      double u;
+      if (ix == 0) {
+        u = grid.wet(0, iy) ? depth_avg(state.u, iy, 0) : 0.0;
+      } else if (ix == grid.nx()) {
+        u = 0.0;
+      } else if (grid.u_face_interior_open(ix, iy)) {
+        u = 0.5 * (depth_avg(state.u, iy, ix - 1) + depth_avg(state.u, iy, ix));
+      } else {
+        u = 0.0;
+      }
+      urow[static_cast<size_t>(ix)] = static_cast<float>(u);
+    }
+  }
+  for (int jf = 0; jf <= grid.ny(); ++jf) {
+    auto vrow = slab.v_row(jf);
+    for (int ix = 0; ix < grid.nx(); ++ix) {
+      double v = 0.0;
+      if (jf > 0 && jf < grid.ny() && grid.v_face_interior_open(ix, jf)) {
+        v = 0.5 * (depth_avg(state.v, jf - 1, ix) + depth_avg(state.v, jf, ix));
+      }
+      vrow[static_cast<size_t>(ix)] = static_cast<float>(v);
+    }
+  }
+  return model;
+}
+
+WorkflowResult run_workflow(SurrogateModel& model,
+                            const data::SampleSpec& spec,
+                            const data::Normalizer& norm,
+                            const ocean::Grid& grid,
+                            const ocean::TidalForcing& tides,
+                            const ocean::PhysicsParams& params,
+                            std::span<const data::CenterFields> truth,
+                            int episodes, double start_time,
+                            const WorkflowConfig& config) {
+  const int T = spec.T;
+  COASTAL_CHECK(truth.size() >= static_cast<size_t>(episodes * T + 1));
+  MassVerifier verifier(grid, config.threshold);
+  model.set_training(false);
+  tensor::NoGradGuard ng;
+
+  WorkflowResult result;
+  // Current state, denormalized (seeds verification pairs and fallbacks).
+  data::CenterFields current = truth[0];
+  norm.denormalize(current.u, data::kU);
+  norm.denormalize(current.v, data::kV);
+  norm.denormalize(current.w, data::kW);
+  norm.denormalize(current.zeta, data::kZeta);
+  data::CenterFields current_normalized = truth[0];
+  double t = start_time;
+
+  for (int e = 0; e < episodes; ++e) {
+    ++result.episodes;
+    std::span<const data::CenterFields> window =
+        truth.subspan(static_cast<size_t>(e * T), static_cast<size_t>(T) + 1);
+
+    util::Timer ai_timer;
+    data::Sample sample = make_sample(spec, window);
+    overwrite_initial_condition(spec, sample, current_normalized);
+    SurrogateOutput out = model.forward_sample(sample, false);
+    auto frames = decode_prediction(spec, out, norm);
+    result.ai_seconds += ai_timer.seconds();
+
+    // Verify the episode including the transition from the current state.
+    util::Timer verify_timer;
+    std::vector<data::CenterFields> seq;
+    seq.reserve(frames.size() + 1);
+    seq.push_back(current);
+    for (auto& f : frames) seq.push_back(f);
+    const auto verdict = verifier.check_sequence(seq, config.snapshot_dt);
+    result.verify_seconds += verify_timer.seconds();
+
+    if (!verdict.pass) {
+      // Fall back: recompute the episode with the numerical model from the
+      // current verified state.
+      ++result.fallbacks;
+      util::Timer roms_timer;
+      ocean::TidalModel fallback =
+          restart_from_fields(grid, tides, params, current, t);
+      frames.clear();
+      for (int step = 0; step < T; ++step) {
+        fallback.run_seconds(config.snapshot_dt);
+        auto snap = ocean::reconstruct_3d(grid, fallback.time(),
+                                          fallback.zeta(), fallback.ubar(),
+                                          fallback.vbar());
+        frames.push_back(data::center_from_snapshot(grid, snap));
+      }
+      result.roms_seconds += roms_timer.seconds();
+    } else {
+      ++result.accepted;
+    }
+
+    current = frames.back();
+    current_normalized = current;
+    norm.normalize_fields(current_normalized);
+    t += T * config.snapshot_dt;
+    for (auto& f : frames) result.frames.push_back(std::move(f));
+  }
+  model.set_training(true);
+  return result;
+}
+
+}  // namespace coastal::core

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file workflow.hpp
+/// The integrated forecasting workflow of Fig. 1: the surrogate produces
+/// each episode, the mass-conservation verifier checks it, and episodes
+/// that fail are recomputed by the numerical model (ROMS stand-in)
+/// restarted from the current state.  The verified output then seeds the
+/// next episode, so errors cannot compound silently.
+
+#include <span>
+#include <vector>
+
+#include "core/surrogate.hpp"
+#include "core/verification.hpp"
+#include "ocean/solver.hpp"
+
+namespace coastal::core {
+
+struct WorkflowConfig {
+  double threshold = 4.0e-4;    ///< mean water-mass residual bound, m/s
+  double snapshot_dt = 1800.0;  ///< seconds between forecast snapshots
+};
+
+struct WorkflowResult {
+  size_t episodes = 0;
+  size_t accepted = 0;    ///< episodes that passed verification
+  size_t fallbacks = 0;   ///< episodes recomputed by the numerical model
+  double ai_seconds = 0.0;
+  double verify_seconds = 0.0;
+  double roms_seconds = 0.0;
+  std::vector<data::CenterFields> frames;  ///< denormalized forecast
+
+  double total_seconds() const {
+    return ai_seconds + verify_seconds + roms_seconds;
+  }
+  double pass_rate() const {
+    return episodes ? static_cast<double>(accepted) / episodes : 1.0;
+  }
+};
+
+/// Restart the numerical model from a (denormalized) cell-centered state:
+/// zeta copied directly, face velocities interpolated from the
+/// depth-averaged centered velocities.
+ocean::TidalModel restart_from_fields(const ocean::Grid& grid,
+                                      const ocean::TidalForcing& tides,
+                                      const ocean::PhysicsParams& params,
+                                      const data::CenterFields& state,
+                                      double start_time);
+
+/// Run `episodes` episodes of T snapshots each.  `truth_normalized`
+/// supplies the initial condition and the per-episode boundary conditions
+/// (episodes*T + 1 frames); `start_time` anchors the tidal phase for
+/// fallback runs.
+WorkflowResult run_workflow(SurrogateModel& model,
+                            const data::SampleSpec& spec,
+                            const data::Normalizer& norm,
+                            const ocean::Grid& grid,
+                            const ocean::TidalForcing& tides,
+                            const ocean::PhysicsParams& params,
+                            std::span<const data::CenterFields> truth_normalized,
+                            int episodes, double start_time,
+                            const WorkflowConfig& config);
+
+}  // namespace coastal::core

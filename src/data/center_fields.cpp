@@ -1,0 +1,37 @@
+#include "data/center_fields.hpp"
+
+namespace coastal::data {
+
+CenterFields center_from_snapshot(const ocean::Grid& grid,
+                                  const ocean::Snapshot& snap) {
+  const int nx = grid.nx(), ny = grid.ny(), nz = grid.nz();
+  CenterFields f;
+  f.nx = nx;
+  f.ny = ny;
+  f.nz = nz;
+  f.time = snap.time;
+  const size_t n3 = static_cast<size_t>(nz) * ny * nx;
+  f.u.assign(n3, 0.0f);
+  f.v.assign(n3, 0.0f);
+  f.w.assign(n3, 0.0f);
+  f.zeta = snap.zeta;
+
+  for (int k = 0; k < nz; ++k) {
+    const auto& uk = snap.u3d[static_cast<size_t>(k)];
+    const auto& vk = snap.v3d[static_cast<size_t>(k)];
+    const auto& wk = snap.w3d[static_cast<size_t>(k)];
+    for (int iy = 0; iy < ny; ++iy) {
+      for (int ix = 0; ix < nx; ++ix) {
+        const size_t c = f.cell3(k, iy, ix);
+        f.u[c] = 0.5f * (uk[grid.u_index(ix, iy)] +
+                         uk[grid.u_index(ix + 1, iy)]);
+        f.v[c] = 0.5f * (vk[grid.v_index(ix, iy)] +
+                         vk[grid.v_index(ix, iy + 1)]);
+        f.w[c] = wk[grid.rho_index(ix, iy)];  // already cell-centered
+      }
+    }
+  }
+  return f;
+}
+
+}  // namespace coastal::data

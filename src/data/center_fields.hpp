@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file center_fields.hpp
+/// Cell-centered views of a simulation snapshot.
+///
+/// ROMS keeps velocities on cell faces (C-grid); the paper's data prep
+/// linearly interpolates all variables to cell centers before training.
+/// This module performs that resampling and holds the result in the
+/// (k, iy, ix) layout the tensor packing expects.
+
+#include <vector>
+
+#include "ocean/sigma.hpp"
+
+namespace coastal::data {
+
+struct CenterFields {
+  int nx = 0, ny = 0, nz = 0;
+  double time = 0.0;
+  /// Layer-major: index (k, iy, ix) -> k*ny*nx + iy*nx + ix.
+  std::vector<float> u, v, w;
+  /// (iy, ix).
+  std::vector<float> zeta;
+
+  size_t cell3(int k, int iy, int ix) const {
+    return (static_cast<size_t>(k) * ny + iy) * nx + ix;
+  }
+  size_t cell2(int iy, int ix) const {
+    return static_cast<size_t>(iy) * nx + ix;
+  }
+};
+
+/// Linear face->center interpolation of one snapshot.
+CenterFields center_from_snapshot(const ocean::Grid& grid,
+                                  const ocean::Snapshot& snap);
+
+}  // namespace coastal::data

@@ -1,0 +1,68 @@
+#include "data/dataset.hpp"
+
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace coastal::data {
+
+std::vector<CenterFields> center_archive(
+    const ocean::Grid& grid, const std::vector<ocean::Snapshot>& snaps) {
+  std::vector<CenterFields> fields;
+  fields.reserve(snaps.size());
+  for (const auto& s : snaps) fields.push_back(center_from_snapshot(grid, s));
+  return fields;
+}
+
+Dataset build_dataset(const std::vector<CenterFields>& fields,
+                      const DatasetConfig& config,
+                      const Normalizer* reuse_normalizer,
+                      double val_fraction) {
+  COASTAL_CHECK_MSG(!fields.empty(), "empty archive");
+  COASTAL_CHECK_MSG(static_cast<int>(fields.size()) > config.T,
+                    "archive shorter than one window");
+  COASTAL_CHECK_MSG(!config.dir.empty(), "DatasetConfig.dir not set");
+
+  Dataset ds;
+  ds.dir = config.dir;
+  ds.spec = make_spec(fields[0].ny, fields[0].nx, fields[0].nz, config.T,
+                      config.multiple_hw, config.multiple_d);
+
+  if (reuse_normalizer) {
+    COASTAL_CHECK_MSG(reuse_normalizer->frozen(),
+                      "reused normalizer must be frozen");
+    ds.normalizer = *reuse_normalizer;
+  } else {
+    for (const auto& f : fields) ds.normalizer.accumulate(f);
+    ds.normalizer.freeze();
+  }
+
+  // Normalize a working copy once; windows share snapshots.
+  std::vector<CenterFields> norm = fields;
+  for (auto& f : norm) ds.normalizer.normalize_fields(f);
+
+  SampleStore store(ds.dir, ds.spec);
+  size_t count = 0;
+  for (size_t start = 0;
+       start + static_cast<size_t>(config.T) < norm.size();
+       start += static_cast<size_t>(config.stride)) {
+    std::span<const CenterFields> window(norm.data() + start,
+                                         static_cast<size_t>(config.T) + 1);
+    store.write(count++, make_sample(ds.spec, window));
+  }
+  COASTAL_CHECK_MSG(count > 0, "no windows produced");
+
+  // Chronological 9:1 split: the tail becomes validation, avoiding
+  // train/val windows that overlap in time.
+  const auto n_val = static_cast<size_t>(
+      static_cast<double>(count) * val_fraction + 0.5);
+  const size_t n_train = count - n_val;
+  for (size_t i = 0; i < n_train; ++i) ds.train_indices.push_back(i);
+  for (size_t i = n_train; i < count; ++i) ds.val_indices.push_back(i);
+
+  LOG_INFO << "dataset at " << ds.dir << ": " << n_train << " train + "
+           << n_val << " val samples, spec " << ds.spec.H << "x" << ds.spec.W
+           << "x" << ds.spec.D << " T=" << ds.spec.T;
+  return ds;
+}
+
+}  // namespace coastal::data

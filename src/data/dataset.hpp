@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file dataset.hpp
+/// End-to-end dataset construction from a simulation archive, mirroring
+/// Sec. III-B: interpolate to centers, fit z-score statistics on the
+/// training span, slide a window of T+1 snapshots with a stride, pad the
+/// mesh, and persist samples in FP16.
+
+#include <string>
+#include <vector>
+
+#include "data/loader.hpp"
+#include "data/normalization.hpp"
+#include "data/sample.hpp"
+#include "data/store.hpp"
+#include "ocean/archive.hpp"
+
+namespace coastal::data {
+
+struct DatasetConfig {
+  int T = 4;           ///< forecast steps per sample (paper: 24)
+  int stride = 2;      ///< window stride in snapshots (paper: 6)
+  int multiple_hw = 4; ///< pad H/W to a multiple (patch * window product)
+  int multiple_d = 2;  ///< pad D likewise
+  std::string dir;     ///< sample store directory
+};
+
+struct Dataset {
+  SampleSpec spec;
+  Normalizer normalizer;
+  std::vector<size_t> train_indices;
+  std::vector<size_t> val_indices;
+  std::string dir;
+
+  SampleStore store() const { return SampleStore(dir, spec); }
+};
+
+/// Convert snapshots to centered fields (the stagger->center resampling).
+std::vector<CenterFields> center_archive(const ocean::Grid& grid,
+                                         const std::vector<ocean::Snapshot>& snaps);
+
+/// Build a dataset from already-centered fields.  The normalizer is fitted
+/// on all of `fields` unless `reuse_normalizer` is provided (test datasets
+/// must reuse the training statistics, as the paper does for 2012).
+/// Windows are split train/val 9:1 (paper's split) unless `val_fraction`
+/// overrides it.
+Dataset build_dataset(const std::vector<CenterFields>& fields,
+                      const DatasetConfig& config,
+                      const Normalizer* reuse_normalizer = nullptr,
+                      double val_fraction = 0.1);
+
+}  // namespace coastal::data

@@ -1,0 +1,33 @@
+#include "data/device_sim.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace coastal::data {
+
+void DeviceSim::sleep_for_transfer(uint64_t bytes, double bandwidth,
+                                   std::atomic<double>& counter) {
+  if (bandwidth <= 0.0 || bytes == 0) return;
+  const double seconds = static_cast<double>(bytes) / bandwidth;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  // Relaxed accumulate (no std::atomic<double>::fetch_add pre-C++20 on
+  // all toolchains; CAS loop is portable).
+  double cur = counter.load();
+  while (!counter.compare_exchange_weak(cur, cur + seconds)) {
+  }
+}
+
+void DeviceSim::ssd_read(uint64_t bytes) {
+  ssd_bytes_.fetch_add(bytes);
+  sleep_for_transfer(bytes, cfg_.ssd_bandwidth, ssd_seconds_);
+}
+
+void DeviceSim::h2d_copy(uint64_t bytes, bool pinned) {
+  h2d_bytes_.fetch_add(bytes);
+  sleep_for_transfer(bytes,
+                     pinned ? cfg_.h2d_pinned_bandwidth
+                            : cfg_.h2d_paged_bandwidth,
+                     h2d_seconds_);
+}
+
+}  // namespace coastal::data

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file device_sim.hpp
+/// Bandwidth model of the DGX memory hierarchy (Table II of the paper):
+///
+///   SSD --750 MB/s--> CPU RAM --PCIe (paged ~6 GB/s, pinned ~12 GB/s)-->
+///   GPU HBM (2 TB/s).
+///
+/// There is no GPU here, so the hierarchy is *simulated*: transfers sleep
+/// for bytes/bandwidth (scaled so a miniature sample takes a few hundred
+/// milliseconds, matching the paper's 5.5 s per full-size sample in
+/// proportion to compute).  This is what lets the I/O ablations (Fig. 9)
+/// reproduce their shape — prefetch hides the SSD latency, pinned memory
+/// doubles H2D throughput — without the physical disk and bus.
+/// Setting any bandwidth to 0 disables that stage's sleep.
+
+#include <atomic>
+#include <cstdint>
+
+namespace coastal::data {
+
+struct DeviceSimConfig {
+  /// Effective bandwidths in bytes/second.  Defaults keep the paper's
+  /// *ratios* (750 MB/s : 6 GB/s : 12 GB/s) scaled down 100x so miniature
+  /// samples produce measurable stage times.
+  double ssd_bandwidth = 7.5e6;
+  double h2d_paged_bandwidth = 60e6;
+  double h2d_pinned_bandwidth = 120e6;
+
+  static DeviceSimConfig instantaneous() {
+    return {0.0, 0.0, 0.0};
+  }
+};
+
+/// Thread-safe; transfer methods sleep the calling thread (so prefetch
+/// workers genuinely overlap simulated I/O with compute).
+class DeviceSim {
+ public:
+  explicit DeviceSim(const DeviceSimConfig& cfg = {}) : cfg_(cfg) {}
+
+  /// SSD -> CPU read of `bytes`.
+  void ssd_read(uint64_t bytes);
+  /// CPU -> "GPU" copy; pinned memory rides the fast path.
+  void h2d_copy(uint64_t bytes, bool pinned);
+
+  /// Cumulative accounting (benches report these).
+  uint64_t ssd_bytes() const { return ssd_bytes_.load(); }
+  uint64_t h2d_bytes() const { return h2d_bytes_.load(); }
+  double ssd_seconds() const { return ssd_seconds_.load(); }
+  double h2d_seconds() const { return h2d_seconds_.load(); }
+
+  const DeviceSimConfig& config() const { return cfg_; }
+
+ private:
+  void sleep_for_transfer(uint64_t bytes, double bandwidth,
+                          std::atomic<double>& counter);
+
+  DeviceSimConfig cfg_;
+  std::atomic<uint64_t> ssd_bytes_{0};
+  std::atomic<uint64_t> h2d_bytes_{0};
+  std::atomic<double> ssd_seconds_{0.0};
+  std::atomic<double> h2d_seconds_{0.0};
+};
+
+}  // namespace coastal::data

@@ -1,0 +1,91 @@
+#include "data/loader.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace coastal::data {
+
+DataLoader::DataLoader(const SampleStore& store, std::vector<size_t> indices,
+                       const LoaderConfig& config, DeviceSim* device)
+    : store_(store),
+      indices_(std::move(indices)),
+      config_(config),
+      device_(device) {
+  if (config_.shuffle) {
+    util::Rng rng(config_.shuffle_seed);
+    // Fisher-Yates.
+    for (size_t i = indices_.size(); i > 1; --i) {
+      const size_t j = rng.uniform_index(i);
+      std::swap(indices_[i - 1], indices_[j]);
+    }
+  }
+  if (config_.num_workers > 0) {
+    queue_capacity_ = static_cast<size_t>(config_.num_workers) *
+                      std::max(1, config_.prefetch_factor);
+    for (int i = 0; i < config_.num_workers; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+DataLoader::~DataLoader() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_space_.notify_all();
+  cv_full_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void DataLoader::worker_loop() {
+  for (;;) {
+    size_t pos;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      // Claim the next position once there is queue headroom: positions
+      // in flight = claimed - delivered.
+      cv_space_.wait(lock, [this] {
+        return stop_ || (next_claim_ < indices_.size() &&
+                         next_claim_ - next_deliver_ < queue_capacity_);
+      });
+      if (stop_ || next_claim_ >= indices_.size()) return;
+      pos = next_claim_++;
+    }
+    Sample s = store_.read(indices_[pos], device_);
+    s.pinned = config_.pin_memory;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ready_.emplace_back(pos, std::move(s));
+    }
+    cv_full_.notify_all();
+  }
+}
+
+std::optional<Sample> DataLoader::next() {
+  if (config_.num_workers == 0) {
+    // Synchronous path ("w/o prefetch" ablation).
+    if (next_deliver_ >= indices_.size()) return std::nullopt;
+    Sample s = store_.read(indices_[next_deliver_++], device_);
+    s.pinned = config_.pin_memory;
+    return s;
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (next_deliver_ >= indices_.size()) return std::nullopt;
+  const size_t want = next_deliver_;
+  cv_full_.wait(lock, [this, want] {
+    return std::any_of(ready_.begin(), ready_.end(),
+                       [want](const auto& p) { return p.first == want; });
+  });
+  auto it = std::find_if(ready_.begin(), ready_.end(),
+                         [want](const auto& p) { return p.first == want; });
+  Sample s = std::move(it->second);
+  ready_.erase(it);
+  ++next_deliver_;
+  lock.unlock();
+  cv_space_.notify_all();
+  return s;
+}
+
+}  // namespace coastal::data

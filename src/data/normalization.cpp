@@ -1,0 +1,49 @@
+#include "data/normalization.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace coastal::data {
+
+void Normalizer::accumulate(const CenterFields& f) {
+  COASTAL_CHECK_MSG(!frozen_, "Normalizer already frozen");
+  stats_[kU].add(std::span<const float>(f.u));
+  stats_[kV].add(std::span<const float>(f.v));
+  stats_[kW].add(std::span<const float>(f.w));
+  stats_[kZeta].add(std::span<const float>(f.zeta));
+}
+
+void Normalizer::freeze() {
+  COASTAL_CHECK_MSG(stats_[0].count() > 0, "no data accumulated");
+  for (int v = 0; v < kNumVariables; ++v) {
+    mean_[static_cast<size_t>(v)] = stats_[static_cast<size_t>(v)].mean();
+    // Floor the scale: w is tiny and a zero-variance var must not divide
+    // by zero.
+    std_[static_cast<size_t>(v)] =
+        std::max(stats_[static_cast<size_t>(v)].stddev(), 1e-8);
+  }
+  frozen_ = true;
+}
+
+void Normalizer::normalize(std::span<float> xs, int var) const {
+  const auto m = static_cast<float>(mean_[static_cast<size_t>(var)]);
+  const auto inv = static_cast<float>(1.0 / std_[static_cast<size_t>(var)]);
+  for (auto& x : xs) x = (x - m) * inv;
+}
+
+void Normalizer::denormalize(std::span<float> xs, int var) const {
+  const auto m = static_cast<float>(mean_[static_cast<size_t>(var)]);
+  const auto s = static_cast<float>(std_[static_cast<size_t>(var)]);
+  for (auto& x : xs) x = x * s + m;
+}
+
+void Normalizer::normalize_fields(CenterFields& f) const {
+  COASTAL_CHECK_MSG(frozen_, "freeze() the Normalizer before use");
+  normalize(f.u, kU);
+  normalize(f.v, kV);
+  normalize(f.w, kW);
+  normalize(f.zeta, kZeta);
+}
+
+}  // namespace coastal::data

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file store.hpp
+/// On-disk sample store.  Samples are serialized in FP16 — the paper
+/// converts the FP64 ROMS archive to FP16 for training, halving bytes
+/// moved through the SSD bottleneck.  Reads are routed through DeviceSim
+/// so the loader experiences realistic (simulated) SSD latency.
+
+#include <string>
+#include <vector>
+
+#include "data/device_sim.hpp"
+#include "data/sample.hpp"
+
+namespace coastal::data {
+
+class SampleStore {
+ public:
+  /// `dir` is created if missing.
+  SampleStore(std::string dir, const SampleSpec& spec);
+
+  const SampleSpec& spec() const { return spec_; }
+  const std::string& dir() const { return dir_; }
+
+  /// Serialize one sample as FP16; returns its file path.
+  std::string write(size_t index, const Sample& sample) const;
+
+  /// Read sample `index`; if `device` is given, simulated SSD time is
+  /// charged for the file's bytes.
+  Sample read(size_t index, DeviceSim* device = nullptr) const;
+
+  /// Number of sample files present.
+  size_t count() const;
+
+  /// Bytes of one serialized sample (all four tensors, FP16).
+  uint64_t sample_bytes() const;
+
+  std::string path_for(size_t index) const;
+
+ private:
+  std::string dir_;
+  SampleSpec spec_;
+};
+
+}  // namespace coastal::data

@@ -1,0 +1,62 @@
+#include "io/field_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace coastal::io {
+
+void write_field_csv(const std::string& path, const std::vector<float>& field,
+                     int nx, int ny, const ocean::Grid* grid) {
+  COASTAL_CHECK(field.size() == static_cast<size_t>(nx) * ny);
+  std::ofstream out(path);
+  COASTAL_CHECK_MSG(out.good(), "cannot open " << path);
+  out << "iy,ix,value\n";
+  for (int iy = 0; iy < ny; ++iy)
+    for (int ix = 0; ix < nx; ++ix) {
+      if (grid && !grid->wet(ix, iy)) continue;
+      out << iy << "," << ix << ","
+          << field[static_cast<size_t>(iy) * nx + ix] << "\n";
+    }
+}
+
+void write_series_csv(const std::string& path,
+                      const std::vector<std::string>& names,
+                      const std::vector<std::vector<float>>& series) {
+  COASTAL_CHECK(names.size() == series.size() && !series.empty());
+  const size_t len = series[0].size();
+  for (const auto& s : series) COASTAL_CHECK(s.size() == len);
+  std::ofstream out(path);
+  COASTAL_CHECK_MSG(out.good(), "cannot open " << path);
+  out << "step";
+  for (const auto& n : names) out << "," << n;
+  out << "\n";
+  for (size_t i = 0; i < len; ++i) {
+    out << i;
+    for (const auto& s : series) out << "," << s[i];
+    out << "\n";
+  }
+}
+
+std::string ascii_field(const std::vector<float>& field, int nx, int ny,
+                        float lo, float hi, const ocean::Grid* grid) {
+  static const char ramp[] = " .:-=+*%@$";
+  std::string out;
+  out.reserve(static_cast<size_t>((nx + 1) * ny));
+  for (int iy = ny - 1; iy >= 0; --iy) {  // north up
+    for (int ix = 0; ix < nx; ++ix) {
+      if (grid && !grid->wet(ix, iy)) {
+        out += '#';
+        continue;
+      }
+      const float v = field[static_cast<size_t>(iy) * nx + ix];
+      const float t = std::clamp((v - lo) / (hi - lo + 1e-12f), 0.0f, 1.0f);
+      out += ramp[static_cast<size_t>(t * 9.0f)];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace coastal::io

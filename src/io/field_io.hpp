@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file field_io.hpp
+/// Field export for the visualization benches (Fig. 5 maps, Fig. 6 time
+/// series): CSV dumps of 2-D fields and per-station series, plus a crude
+/// ASCII rendering for quick terminal inspection.
+
+#include <string>
+#include <vector>
+
+#include "data/center_fields.hpp"
+#include "ocean/grid.hpp"
+
+namespace coastal::io {
+
+/// Write a (ny x nx) field as CSV rows "iy,ix,value" (land cells skipped
+/// when `grid` is given).
+void write_field_csv(const std::string& path, const std::vector<float>& field,
+                     int nx, int ny, const ocean::Grid* grid = nullptr);
+
+/// Write several aligned time series: header "step,<name0>,<name1>,...".
+void write_series_csv(const std::string& path,
+                      const std::vector<std::string>& names,
+                      const std::vector<std::vector<float>>& series);
+
+/// Terminal rendering of a field with '#' for land and a 10-level ramp
+/// for values in [lo, hi] — used by examples for a quick look.
+std::string ascii_field(const std::vector<float>& field, int nx, int ny,
+                        float lo, float hi, const ocean::Grid* grid = nullptr);
+
+}  // namespace coastal::io

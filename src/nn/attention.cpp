@@ -1,0 +1,53 @@
+#include "nn/attention.hpp"
+
+#include <cmath>
+
+namespace coastal::nn {
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(int64_t dim, int64_t heads,
+                                               util::Rng& rng)
+    : dim_(dim), heads_(heads), head_dim_(dim / heads) {
+  COASTAL_CHECK_MSG(dim % heads == 0,
+                    "attention dim " << dim << " not divisible by " << heads);
+  scale_ = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  qkv_ = register_module<Linear>("qkv", dim, 3 * dim, rng);
+  proj_ = register_module<Linear>("proj", dim, dim, rng);
+}
+
+Tensor MultiHeadSelfAttention::forward(const Tensor& x,
+                                       const Tensor& mask) const {
+  COASTAL_CHECK(x.ndim() == 3 && x.shape()[2] == dim_);
+  const int64_t B = x.shape()[0];
+  const int64_t N = x.shape()[1];
+
+  // [B, N, 3C] -> [B, N, 3, h, d] -> [3, B, h, N, d]
+  Tensor qkv = qkv_->forward(x)
+                   .reshape({B, N, 3, heads_, head_dim_})
+                   .permute({2, 0, 3, 1, 4});
+  Tensor q = qkv.slice(0, 0, 1).reshape({B, heads_, N, head_dim_});
+  Tensor k = qkv.slice(0, 1, 1).reshape({B, heads_, N, head_dim_});
+  Tensor v = qkv.slice(0, 2, 1).reshape({B, heads_, N, head_dim_});
+
+  Tensor scores =
+      q.matmul(k.transpose_last()).mul_scalar(scale_);  // [B, h, N, N]
+
+  if (mask.defined()) {
+    COASTAL_CHECK(mask.ndim() == 3 && mask.shape()[1] == N &&
+                  mask.shape()[2] == N);
+    const int64_t groups = mask.shape()[0];
+    COASTAL_CHECK_MSG(B % groups == 0,
+                      "attention mask groups " << groups
+                                               << " do not divide batch " << B);
+    const int64_t rep = B / groups;
+    Tensor s5 = scores.reshape({rep, groups, heads_, N, N});
+    Tensor m5 = mask.reshape({1, groups, 1, N, N});
+    scores = s5.add(m5).reshape({B, heads_, N, N});
+  }
+
+  Tensor attn = scores.softmax_lastdim();
+  Tensor out = attn.matmul(v);                     // [B, h, N, d]
+  out = out.permute({0, 2, 1, 3}).reshape({B, N, dim_});
+  return proj_->forward(out);
+}
+
+}  // namespace coastal::nn

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file attention.hpp
+/// Multi-head self-attention over token sequences (Eq. 1-2 of the paper).
+/// The Swin-specific windowing lives in core/window4d.*; this module sees
+/// already-windowed tokens of shape [B, N, C] where B = batch * n_windows
+/// and N = window volume.
+
+#include <memory>
+
+#include "nn/layers.hpp"
+
+namespace coastal::nn {
+
+class MultiHeadSelfAttention : public Module {
+ public:
+  /// `dim` must be divisible by `heads`.
+  MultiHeadSelfAttention(int64_t dim, int64_t heads, util::Rng& rng);
+
+  /// x: [B, N, C].  `mask` (optional): additive attention bias of shape
+  /// [groups, N, N] with 0 for allowed and a large negative value for
+  /// disallowed pairs — the shifted-window cross-boundary mask.  When
+  /// defined, B must be divisible by `groups` and window index must be the
+  /// fastest-varying component of B (i.e. B = batch * groups with groups
+  /// contiguous), which is how window partitioning lays tokens out.
+  Tensor forward(const Tensor& x, const Tensor& mask = Tensor()) const;
+
+  int64_t dim() const { return dim_; }
+  int64_t heads() const { return heads_; }
+
+ private:
+  int64_t dim_, heads_, head_dim_;
+  float scale_;
+  std::shared_ptr<Linear> qkv_, proj_;
+};
+
+}  // namespace coastal::nn

@@ -1,0 +1,164 @@
+#include "nn/conv.hpp"
+
+#include <numeric>
+
+namespace coastal::nn {
+
+namespace detail {
+
+namespace {
+
+int64_t prod(const std::vector<int64_t>& v) {
+  int64_t p = 1;
+  for (int64_t x : v) p *= x;
+  return p;
+}
+
+}  // namespace
+
+Tensor blocks_to_tokens(const Tensor& x, const std::vector<int64_t>& kernel) {
+  const size_t k = kernel.size();
+  COASTAL_CHECK_MSG(x.ndim() == k + 2,
+                    "conv input rank " << x.ndim() << " != spatial rank " << k
+                                       << " + 2");
+  const int64_t B = x.shape()[0];
+  const int64_t C = x.shape()[1];
+  tensor::Shape expanded{B, C};
+  std::vector<int64_t> coarse(k);
+  for (size_t i = 0; i < k; ++i) {
+    const int64_t d = x.shape()[i + 2];
+    COASTAL_CHECK_MSG(d % kernel[i] == 0, "spatial dim " << d
+                                                          << " not divisible by kernel "
+                                                          << kernel[i]);
+    coarse[i] = d / kernel[i];
+    expanded.push_back(coarse[i]);
+    expanded.push_back(kernel[i]);
+  }
+  Tensor r = x.reshape(expanded);
+  // [B, C, c1, k1, ...] -> [B, c1..ck, C, k1..kk]
+  std::vector<size_t> perm;
+  perm.push_back(0);
+  for (size_t i = 0; i < k; ++i) perm.push_back(2 + 2 * i);
+  perm.push_back(1);
+  for (size_t i = 0; i < k; ++i) perm.push_back(3 + 2 * i);
+  Tensor p = r.permute(perm);
+  return p.reshape({B, prod(coarse), C * prod(kernel)});
+}
+
+Tensor tokens_to_blocks(const Tensor& tokens, int64_t channels,
+                        const std::vector<int64_t>& coarse,
+                        const std::vector<int64_t>& kernel) {
+  const size_t k = kernel.size();
+  COASTAL_CHECK(coarse.size() == k && tokens.ndim() == 3);
+  const int64_t B = tokens.shape()[0];
+  COASTAL_CHECK(tokens.shape()[1] == prod(coarse));
+  COASTAL_CHECK(tokens.shape()[2] == channels * prod(kernel));
+
+  tensor::Shape expanded{B};
+  for (int64_t c : coarse) expanded.push_back(c);
+  expanded.push_back(channels);
+  for (int64_t kk : kernel) expanded.push_back(kk);
+  Tensor r = tokens.reshape(expanded);
+  // [B, c1..ck, C, k1..kk] -> [B, C, c1, k1, c2, k2, ...]
+  std::vector<size_t> perm;
+  perm.push_back(0);
+  perm.push_back(1 + k);  // C
+  for (size_t i = 0; i < k; ++i) {
+    perm.push_back(1 + i);          // c_i
+    perm.push_back(2 + k + i);      // k_i
+  }
+  Tensor p = r.permute(perm);
+  tensor::Shape out_shape{B, channels};
+  for (size_t i = 0; i < k; ++i) out_shape.push_back(coarse[i] * kernel[i]);
+  return p.reshape(out_shape);
+}
+
+}  // namespace detail
+
+PatchConvNd::PatchConvNd(int64_t in_channels, int64_t out_channels,
+                         std::vector<int64_t> kernel, util::Rng& rng)
+    : in_(in_channels), out_(out_channels), kernel_(std::move(kernel)) {
+  int64_t kprod = 1;
+  for (int64_t k : kernel_) {
+    COASTAL_CHECK_MSG(k >= 1, "kernel entries must be >= 1");
+    kprod *= k;
+  }
+  proj_ = register_module<Linear>("proj", in_ * kprod, out_, rng);
+}
+
+Tensor PatchConvNd::forward(const Tensor& x) const {
+  COASTAL_CHECK(x.shape()[1] == in_);
+  const int64_t B = x.shape()[0];
+  std::vector<int64_t> coarse(kernel_.size());
+  for (size_t i = 0; i < kernel_.size(); ++i)
+    coarse[i] = x.shape()[i + 2] / kernel_[i];
+
+  Tensor tokens = detail::blocks_to_tokens(x, kernel_);
+  Tensor projected = proj_->forward(tokens);  // [B, nb, out]
+
+  tensor::Shape grid{B};
+  for (int64_t c : coarse) grid.push_back(c);
+  grid.push_back(out_);
+  Tensor g = projected.reshape(grid);
+  std::vector<size_t> perm;
+  perm.push_back(0);
+  perm.push_back(kernel_.size() + 1);  // channels
+  for (size_t i = 0; i < kernel_.size(); ++i) perm.push_back(1 + i);
+  return g.permute(perm);
+}
+
+PatchConvTransposeNd::PatchConvTransposeNd(int64_t in_channels,
+                                           int64_t out_channels,
+                                           std::vector<int64_t> kernel,
+                                           util::Rng& rng)
+    : in_(in_channels), out_(out_channels), kernel_(std::move(kernel)) {
+  int64_t kprod = 1;
+  for (int64_t k : kernel_) {
+    COASTAL_CHECK_MSG(k >= 1, "kernel entries must be >= 1");
+    kprod *= k;
+  }
+  proj_ = register_module<Linear>("proj", in_, out_ * kprod, rng);
+}
+
+Tensor PatchConvTransposeNd::forward(const Tensor& x) const {
+  COASTAL_CHECK(x.ndim() == kernel_.size() + 2 && x.shape()[1] == in_);
+  const int64_t B = x.shape()[0];
+  std::vector<int64_t> coarse(kernel_.size());
+  int64_t nb = 1;
+  for (size_t i = 0; i < kernel_.size(); ++i) {
+    coarse[i] = x.shape()[i + 2];
+    nb *= coarse[i];
+  }
+  // Channel-last tokens: [B, nb, Cin]
+  std::vector<size_t> perm;
+  perm.push_back(0);
+  for (size_t i = 0; i < kernel_.size(); ++i) perm.push_back(2 + i);
+  perm.push_back(1);
+  Tensor tokens = x.permute(perm).reshape({B, nb, in_});
+  Tensor projected = proj_->forward(tokens);  // [B, nb, Cout * kprod]
+  return detail::tokens_to_blocks(projected, out_, coarse, kernel_);
+}
+
+PointwiseConvNd::PointwiseConvNd(int64_t in_channels, int64_t out_channels,
+                                 util::Rng& rng)
+    : in_(in_channels), out_(out_channels) {
+  proj_ = register_module<Linear>("proj", in_, out_, rng);
+}
+
+Tensor PointwiseConvNd::forward(const Tensor& x) const {
+  COASTAL_CHECK(x.ndim() >= 2 && x.shape()[1] == in_);
+  const size_t nd = x.ndim();
+  std::vector<size_t> to_last(nd);
+  to_last[0] = 0;
+  for (size_t i = 1; i + 1 < nd; ++i) to_last[i] = i + 1;
+  to_last[nd - 1] = 1;
+  Tensor tokens = x.permute(to_last);
+  Tensor projected = proj_->forward(tokens);
+  std::vector<size_t> to_first(nd);
+  to_first[0] = 0;
+  to_first[1] = nd - 1;
+  for (size_t i = 2; i < nd; ++i) to_first[i] = i - 1;
+  return projected.permute(to_first);
+}
+
+}  // namespace coastal::nn

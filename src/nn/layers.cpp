@@ -1,0 +1,118 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+
+namespace coastal::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, util::Rng& rng,
+               bool bias)
+    : in_(in_features), out_(out_features), has_bias_(bias) {
+  // Xavier-uniform init, standard for transformer projections.
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(in_features + out_features));
+  weight = register_parameter(
+      "weight", Tensor::uniform({in_, out_}, rng, -bound, bound));
+  if (bias) {
+    this->bias = register_parameter("bias", Tensor::zeros({out_}));
+  }
+}
+
+Tensor Linear::forward(const Tensor& x) const {
+  COASTAL_CHECK_MSG(x.shape().back() == in_,
+                    "Linear: input features " << x.shape().back() << " != "
+                                              << in_);
+  // Flatten leading dims so matmul sees [rows, in] — avoids materializing
+  // broadcast batch logic for high-rank inputs.
+  tensor::Shape lead(x.shape().begin(), x.shape().end() - 1);
+  Tensor flat = x.reshape({-1, in_});
+  Tensor y = flat.matmul(weight);
+  if (has_bias_) y = y.add(bias);
+  tensor::Shape out_shape = lead;
+  out_shape.push_back(out_);
+  return y.reshape(out_shape);
+}
+
+LayerNorm::LayerNorm(int64_t dim, float eps) : eps_(eps) {
+  gamma = register_parameter("gamma", Tensor::ones({dim}));
+  beta = register_parameter("beta", Tensor::zeros({dim}));
+}
+
+Tensor LayerNorm::forward(const Tensor& x) const {
+  return x.layer_norm(gamma, beta, eps_);
+}
+
+BatchNorm::BatchNorm(int64_t channels, float eps, float momentum,
+                     bool use_batch_stats_in_eval)
+    : channels_(channels),
+      eps_(eps),
+      momentum_(momentum),
+      use_batch_stats_in_eval_(use_batch_stats_in_eval) {
+  gamma = register_parameter("gamma", Tensor::ones({channels}));
+  beta = register_parameter("beta", Tensor::zeros({channels}));
+  running_mean = register_buffer("running_mean", Tensor::zeros({channels}));
+  running_var = register_buffer("running_var", Tensor::ones({channels}));
+}
+
+Tensor BatchNorm::forward(const Tensor& x) {
+  COASTAL_CHECK_MSG(x.ndim() >= 2 && x.shape()[1] == channels_,
+                    "BatchNorm: expected [B," << channels_ << ",...], got "
+                                              << tensor::shape_str(x.shape()));
+  // Move channels last: [B, C, S...] -> [B, S..., C] so stats reduce over
+  // a flattened leading axis.
+  std::vector<size_t> to_last(x.ndim());
+  to_last[0] = 0;
+  for (size_t i = 1; i + 1 < x.ndim(); ++i) to_last[i] = i + 1;
+  to_last[x.ndim() - 1] = 1;
+  Tensor xc = x.permute(to_last).reshape({-1, channels_});
+
+  Tensor y;
+  if (training() || use_batch_stats_in_eval_) {
+    Tensor mean = xc.mean_axis(0, /*keepdim=*/true);              // [1, C]
+    Tensor centered = xc.sub(mean);
+    Tensor var = centered.mul(centered).mean_axis(0, true);       // [1, C]
+    y = centered.div(var.add_scalar(eps_).sqrt());
+    // Update running stats outside the graph (training only).
+    if (training()) {
+      tensor::NoGradGuard ng;
+      const float m = momentum_;
+      float* rm = running_mean.raw();
+      float* rv = running_var.raw();
+      const float* bm = mean.raw();
+      const float* bv = var.raw();
+      // Unbiased variance for the running buffer, as torch does.
+      const auto n = static_cast<float>(xc.shape()[0]);
+      const float unbias = n > 1.0f ? n / (n - 1.0f) : 1.0f;
+      for (int64_t c = 0; c < channels_; ++c) {
+        rm[c] = (1.0f - m) * rm[c] + m * bm[c];
+        rv[c] = (1.0f - m) * rv[c] + m * bv[c] * unbias;
+      }
+    }
+  } else {
+    y = xc.sub(running_mean.reshape({1, channels_}))
+            .div(running_var.reshape({1, channels_}).add_scalar(eps_).sqrt());
+  }
+  y = y.mul(gamma).add(beta);
+
+  // Restore [B, C, S...].
+  tensor::Shape mid_shape;
+  mid_shape.push_back(x.shape()[0]);
+  for (size_t i = 2; i < x.ndim(); ++i) mid_shape.push_back(x.shape()[i]);
+  mid_shape.push_back(channels_);
+  Tensor ys = y.reshape(mid_shape);
+  std::vector<size_t> to_first(x.ndim());
+  to_first[0] = 0;
+  to_first[1] = x.ndim() - 1;
+  for (size_t i = 2; i < x.ndim(); ++i) to_first[i] = i - 1;
+  return ys.permute(to_first);
+}
+
+Mlp::Mlp(int64_t dim, int64_t hidden, util::Rng& rng) {
+  fc1_ = register_module<Linear>("fc1", dim, hidden, rng);
+  fc2_ = register_module<Linear>("fc2", hidden, dim, rng);
+}
+
+Tensor Mlp::forward(const Tensor& x) const {
+  return fc2_->forward(fc1_->forward(x).gelu());
+}
+
+}  // namespace coastal::nn

@@ -1,0 +1,65 @@
+#include "nn/module.hpp"
+
+namespace coastal::nn {
+
+Tensor& Module::register_parameter(const std::string& name, Tensor t) {
+  t.set_requires_grad(true);
+  params_.emplace_back(name, std::move(t));
+  return params_.back().second;
+}
+
+Tensor& Module::register_buffer(const std::string& name, Tensor t) {
+  buffers_.emplace_back(name, std::move(t));
+  return buffers_.back().second;
+}
+
+void Module::collect_parameters(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, Tensor>>& out) const {
+  for (const auto& [name, t] : params_) out.emplace_back(prefix + name, t);
+  for (const auto& [name, child] : children_)
+    child->collect_parameters(prefix + name + ".", out);
+}
+
+void Module::collect_buffers(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, Tensor>>& out) const {
+  for (const auto& [name, t] : buffers_) out.emplace_back(prefix + name, t);
+  for (const auto& [name, child] : children_)
+    child->collect_buffers(prefix + name + ".", out);
+}
+
+std::vector<std::pair<std::string, Tensor>> Module::named_parameters() const {
+  std::vector<std::pair<std::string, Tensor>> out;
+  collect_parameters("", out);
+  return out;
+}
+
+std::vector<std::pair<std::string, Tensor>> Module::named_buffers() const {
+  std::vector<std::pair<std::string, Tensor>> out;
+  collect_buffers("", out);
+  return out;
+}
+
+std::vector<Tensor> Module::parameters() const {
+  std::vector<Tensor> out;
+  for (auto& [name, t] : named_parameters()) out.push_back(t);
+  return out;
+}
+
+int64_t Module::num_parameters() const {
+  int64_t n = 0;
+  for (const auto& t : parameters()) n += t.numel();
+  return n;
+}
+
+void Module::zero_grad() {
+  for (auto& t : parameters()) t.zero_grad();
+}
+
+void Module::set_training(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) child->set_training(training);
+}
+
+}  // namespace coastal::nn

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file module.hpp
+/// Base class for neural-network modules: a tree of children with
+/// registered parameters and buffers, torch-style.  Parameters are Tensor
+/// handles shared with the optimizer; buffers (e.g. BatchNorm running
+/// stats) are saved/loaded but never receive gradients.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace coastal::nn {
+
+using tensor::Tensor;
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All trainable parameters of this module and its descendants, with
+  /// dotted path names ("encoder.blocks.0.qkv.weight").
+  std::vector<std::pair<std::string, Tensor>> named_parameters() const;
+  std::vector<Tensor> parameters() const;
+  /// Buffers (running stats etc.), same traversal.
+  std::vector<std::pair<std::string, Tensor>> named_buffers() const;
+
+  int64_t num_parameters() const;
+  void zero_grad();
+
+  /// Training/eval mode (BatchNorm switches statistics source).
+  virtual void set_training(bool training);
+  bool training() const { return training_; }
+
+ protected:
+  Tensor& register_parameter(const std::string& name, Tensor t);
+  Tensor& register_buffer(const std::string& name, Tensor t);
+
+  template <typename M, typename... Args>
+  std::shared_ptr<M> register_module(const std::string& name, Args&&... args) {
+    auto m = std::make_shared<M>(std::forward<Args>(args)...);
+    children_.emplace_back(name, m);
+    return m;
+  }
+  /// Register an already-constructed child.
+  void adopt_module(const std::string& name, std::shared_ptr<Module> m) {
+    children_.emplace_back(name, std::move(m));
+  }
+
+ private:
+  void collect_parameters(const std::string& prefix,
+                          std::vector<std::pair<std::string, Tensor>>& out) const;
+  void collect_buffers(const std::string& prefix,
+                       std::vector<std::pair<std::string, Tensor>>& out) const;
+
+  bool training_ = true;
+  std::vector<std::pair<std::string, Tensor>> params_;
+  std::vector<std::pair<std::string, Tensor>> buffers_;
+  std::vector<std::pair<std::string, std::shared_ptr<Module>>> children_;
+};
+
+}  // namespace coastal::nn

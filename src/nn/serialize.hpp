@@ -1,0 +1,19 @@
+#pragma once
+
+/// \file serialize.hpp
+/// Binary save/load of a module's parameters and buffers, keyed by dotted
+/// path name.  Format: magic, count, then per entry
+/// (name_len, name, ndim, dims..., float32 data).  Loading verifies both
+/// the name set and every shape, so a checkpoint from a differently
+/// configured model fails loudly instead of silently misloading.
+
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace coastal::nn {
+
+void save_parameters(const Module& module, const std::string& path);
+void load_parameters(Module& module, const std::string& path);
+
+}  // namespace coastal::nn

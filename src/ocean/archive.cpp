@@ -1,0 +1,30 @@
+#include "ocean/archive.hpp"
+
+namespace coastal::ocean {
+
+std::vector<Snapshot> simulate_archive(
+    const Grid& grid, const TidalForcing& tides, const PhysicsParams& params,
+    const ArchiveConfig& config,
+    const std::function<void(const Snapshot&)>& on_snapshot) {
+  TidalModel model(grid, tides, params);
+  model.run_seconds(config.spinup_seconds);
+
+  std::vector<Snapshot> archive;
+  const auto n_snaps = static_cast<size_t>(
+      config.duration_seconds / config.interval_seconds) + 1;
+  if (!on_snapshot) archive.reserve(n_snaps);
+
+  for (size_t i = 0; i < n_snaps; ++i) {
+    Snapshot snap = reconstruct_3d(grid, model.time(), model.zeta(),
+                                   model.ubar(), model.vbar());
+    if (on_snapshot) {
+      on_snapshot(snap);
+    } else {
+      archive.push_back(std::move(snap));
+    }
+    if (i + 1 < n_snaps) model.run_seconds(config.interval_seconds);
+  }
+  return archive;
+}
+
+}  // namespace coastal::ocean

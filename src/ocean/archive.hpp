@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file archive.hpp
+/// Runs the tidal model and collects 3-D snapshots at a fixed interval —
+/// the stand-in for the paper's decade-long ROMS simulation archive of
+/// Charlotte Harbor (half-hourly snapshots).
+
+#include <functional>
+#include <vector>
+
+#include "ocean/sigma.hpp"
+#include "ocean/solver.hpp"
+
+namespace coastal::ocean {
+
+struct ArchiveConfig {
+  double spinup_seconds = 6.0 * 3600.0;   ///< discarded ramp-up
+  double duration_seconds = 86400.0;      ///< archived span
+  double interval_seconds = 1800.0;       ///< snapshot cadence (paper: 30 min)
+};
+
+/// Simulate and return snapshots (first snapshot at the end of spinup).
+/// `on_snapshot`, when set, is invoked for each snapshot *instead of*
+/// accumulating in memory (streaming mode for large archives).
+std::vector<Snapshot> simulate_archive(
+    const Grid& grid, const TidalForcing& tides, const PhysicsParams& params,
+    const ArchiveConfig& config,
+    const std::function<void(const Snapshot&)>& on_snapshot = nullptr);
+
+}  // namespace coastal::ocean

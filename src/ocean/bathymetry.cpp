@@ -1,0 +1,133 @@
+#include "ocean/bathymetry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace coastal::ocean {
+
+namespace {
+
+/// Smoothstep between 0 and 1 on [a, b].
+double smoothstep(double x, double a, double b) {
+  const double t = std::clamp((x - a) / (b - a), 0.0, 1.0);
+  return t * t * (3.0 - 2.0 * t);
+}
+
+}  // namespace
+
+void generate_estuary(Grid& grid, const EstuaryParams& p, uint64_t seed) {
+  util::Rng rng(seed);
+  const int nx = grid.nx();
+  const int ny = grid.ny();
+
+  // Zone boundaries as fractions of the x extent.
+  const int shelf_end = std::max(2, nx / 4);          // open ocean
+  const int barrier_x = shelf_end;                    // island column band
+  const int barrier_w = std::max(1, nx / 24);
+  const int harbor_end = nx - std::max(2, nx / 5);    // basin ends, land after
+
+  // --- spacing: refined band around the barrier/inlet columns ------------
+  std::vector<double> dx(static_cast<size_t>(nx)), dy(static_cast<size_t>(ny),
+                                                      p.base_dx);
+  for (int i = 0; i < nx; ++i) {
+    const double dist =
+        std::abs(i - (barrier_x + barrier_w / 2)) / static_cast<double>(nx);
+    const double refine = 1.0 + (p.refine_factor - 1.0) *
+                                    (1.0 - smoothstep(dist, 0.05, 0.25));
+    dx[static_cast<size_t>(i)] = p.base_dx / refine;
+  }
+
+  // --- inlets: evenly spaced gaps in the barrier --------------------------
+  const int inlet_w = std::max(1, static_cast<int>(p.inlet_fraction * ny));
+  std::vector<std::pair<int, int>> inlets;  // [lo, hi) rows
+  for (int k = 0; k < p.num_inlets; ++k) {
+    const int center = (k + 1) * ny / (p.num_inlets + 1);
+    inlets.emplace_back(center - inlet_w / 2, center - inlet_w / 2 + inlet_w);
+  }
+  auto in_inlet = [&](int iy) {
+    for (auto [lo, hi] : inlets)
+      if (iy >= lo && iy < hi) return true;
+    return false;
+  };
+
+  // --- rivers: horizontal channels cut into the eastern land -------------
+  const int river_w = std::max(1, ny / 24);
+  std::vector<std::pair<int, int>> rivers;
+  for (int k = 0; k < p.num_rivers; ++k) {
+    const int center = (2 * k + 1) * ny / (2 * p.num_rivers);
+    rivers.emplace_back(center - river_w / 2, center - river_w / 2 + river_w);
+  }
+  auto in_river = [&](int iy) {
+    for (auto [lo, hi] : rivers)
+      if (iy >= lo && iy < hi) return true;
+    return false;
+  };
+
+  // --- depth & mask --------------------------------------------------------
+  for (int iy = 0; iy < ny; ++iy) {
+    for (int ix = 0; ix < nx; ++ix) {
+      const double fx = static_cast<double>(ix) / nx;
+      double depth;
+      bool wet = true;
+
+      if (ix < barrier_x) {
+        // Shelf: deep at the boundary, shoaling toward the barrier.
+        const double t = static_cast<double>(ix) / std::max(1, barrier_x);
+        depth = p.shelf_depth * (1.0 - 0.55 * t);
+      } else if (ix < barrier_x + barrier_w) {
+        // Barrier islands: land except at inlets (which stay deep —
+        // strong tidal currents scour inlets).
+        if (in_inlet(iy)) {
+          depth = p.channel_depth;
+        } else {
+          wet = false;
+          depth = 0.0;
+        }
+      } else if (ix < harbor_end) {
+        // Harbor basin: shallow, gently deepening toward the inlets.
+        const double t = smoothstep(fx, static_cast<double>(barrier_x) / nx,
+                                    static_cast<double>(harbor_end) / nx);
+        depth = p.harbor_depth + (p.channel_depth - p.harbor_depth) *
+                                     (1.0 - t) * 0.5;
+        // Margins of the basin are land (harbor narrows at north/south).
+        const double edge = std::min(iy, ny - 1 - iy) / static_cast<double>(ny);
+        if (edge < 0.06) {
+          wet = false;
+          depth = 0.0;
+        }
+      } else {
+        // Eastern land with river channels.
+        if (in_river(iy)) {
+          // Channel shoals landward and ends before the eastern edge.
+          const double t = smoothstep(fx, static_cast<double>(harbor_end) / nx,
+                                      0.985);
+          if (t < 0.999) {
+            depth = p.channel_depth * (1.0 - 0.6 * t);
+          } else {
+            wet = false;
+            depth = 0.0;
+          }
+        } else {
+          wet = false;
+          depth = 0.0;
+        }
+      }
+
+      if (wet) {
+        depth = std::max(1.0, depth * (1.0 + p.noise * rng.normal() * 0.3));
+      }
+      grid.set_wet(ix, iy, wet);
+      grid.set_h(ix, iy, static_cast<float>(depth));
+    }
+  }
+
+  // Keep the entire western edge wet (the open boundary must be ocean).
+  for (int iy = 0; iy < ny; ++iy) {
+    grid.set_wet(0, iy, true);
+    grid.set_h(0, iy, static_cast<float>(p.shelf_depth));
+  }
+
+  grid.set_spacing(std::move(dx), std::move(dy));
+}
+
+}  // namespace coastal::ocean

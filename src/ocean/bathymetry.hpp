@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file bathymetry.hpp
+/// Procedural estuary generator standing in for the Charlotte Harbor mesh.
+///
+/// Layout (west -> east):
+///   [open shelf | barrier islands with inlets | harbor basin | land with
+///    river channels].  The western edge is the open ocean boundary where
+///    tides are imposed.  Depth decreases from the shelf (~18 m) to the
+///    harbor (~3 m); river channels are narrow, deeper cuts into the land.
+/// Grid spacing is refined near the inlet band, mirroring the paper's
+/// higher resolution "near river channels and inlets".
+
+#include "ocean/grid.hpp"
+#include "util/rng.hpp"
+
+namespace coastal::ocean {
+
+struct EstuaryParams {
+  double shelf_depth = 18.0;    ///< m at the western boundary
+  double harbor_depth = 3.0;    ///< m in the interior basin
+  double channel_depth = 6.0;   ///< m in river channels
+  int num_inlets = 2;           ///< gaps in the barrier island chain
+  int num_rivers = 2;           ///< channels cut into the eastern land
+  double inlet_fraction = 0.12; ///< inlet width as a fraction of ny
+  double noise = 0.15;          ///< relative depth roughness
+  double base_dx = 500.0;       ///< m, coarsest spacing
+  double refine_factor = 2.0;   ///< dx shrinks by this near the inlet band
+};
+
+/// Fill `grid`'s bathymetry, mask, and spacing.  Deterministic given seed.
+void generate_estuary(Grid& grid, const EstuaryParams& params, uint64_t seed);
+
+}  // namespace coastal::ocean

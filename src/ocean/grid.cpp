@@ -1,0 +1,37 @@
+#include "ocean/grid.hpp"
+
+namespace coastal::ocean {
+
+Grid::Grid(int nx, int ny, int nz, double dx_m, double dy_m)
+    : nx_(nx), ny_(ny), nz_(nz) {
+  COASTAL_CHECK_MSG(nx >= 4 && ny >= 4, "grid too small: " << nx << "x" << ny);
+  COASTAL_CHECK_MSG(nz >= 1, "need at least one vertical layer");
+  dx_.assign(static_cast<size_t>(nx), dx_m);
+  dy_.assign(static_cast<size_t>(ny), dy_m);
+  h_.assign(cells(), 10.0f);
+  mask_.assign(cells(), 1);
+
+  // Evenly spaced sigma layers: midpoints of nz slabs of [-1, 0].
+  sigma_.resize(static_cast<size_t>(nz));
+  dsigma_.assign(static_cast<size_t>(nz), 1.0 / nz);
+  for (int k = 0; k < nz; ++k)
+    sigma_[static_cast<size_t>(k)] = -1.0 + (k + 0.5) / nz;
+}
+
+void Grid::set_spacing(std::vector<double> dx, std::vector<double> dy) {
+  COASTAL_CHECK(dx.size() == static_cast<size_t>(nx_));
+  COASTAL_CHECK(dy.size() == static_cast<size_t>(ny_));
+  for (double d : dx) COASTAL_CHECK_MSG(d > 0, "dx must be positive");
+  for (double d : dy) COASTAL_CHECK_MSG(d > 0, "dy must be positive");
+  dx_ = std::move(dx);
+  dy_ = std::move(dy);
+}
+
+size_t Grid::wet_count() const {
+  size_t n = 0;
+  for (uint8_t m : mask_)
+    if (m) ++n;
+  return n;
+}
+
+}  // namespace coastal::ocean

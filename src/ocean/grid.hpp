@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file grid.hpp
+/// Horizontal Arakawa-C grid with land/sea mask, non-uniform spacing, and
+/// terrain-following sigma layers — the discretization ROMS uses.
+///
+/// Staggering convention (C-grid):
+///   - zeta, h (bathymetric depth, positive down) live at cell centers
+///     ("rho points"), nx * ny of them;
+///   - u lives at x-faces, (nx+1) * ny (face i is west of cell i);
+///   - v lives at y-faces, nx * (ny+1) (face j is south of cell row j).
+/// Row-major storage with y as the slow index.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace coastal::ocean {
+
+class Grid {
+ public:
+  /// Uniformly spaced grid; use set_spacing for non-uniform refinement.
+  Grid(int nx, int ny, int nz, double dx_m, double dy_m);
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+
+  size_t cells() const { return static_cast<size_t>(nx_) * ny_; }
+
+  size_t rho_index(int ix, int iy) const {
+    COASTAL_DCHECK(ix >= 0 && ix < nx_ && iy >= 0 && iy < ny_);
+    return static_cast<size_t>(iy) * nx_ + ix;
+  }
+  size_t u_index(int ix, int iy) const {  // ix in [0, nx], iy in [0, ny)
+    COASTAL_DCHECK(ix >= 0 && ix <= nx_ && iy >= 0 && iy < ny_);
+    return static_cast<size_t>(iy) * (nx_ + 1) + ix;
+  }
+  size_t v_index(int ix, int iy) const {  // ix in [0, nx), iy in [0, ny]
+    COASTAL_DCHECK(ix >= 0 && ix < nx_ && iy >= 0 && iy <= ny_);
+    return static_cast<size_t>(iy) * nx_ + ix;
+  }
+
+  /// Per-column / per-row spacing in meters (non-uniform refinement near
+  /// inlets, as the paper's Charlotte Harbor mesh has near river channels).
+  double dx(int ix) const { return dx_[static_cast<size_t>(ix)]; }
+  double dy(int iy) const { return dy_[static_cast<size_t>(iy)]; }
+  void set_spacing(std::vector<double> dx, std::vector<double> dy);
+
+  /// Cell area in m^2.
+  double area(int ix, int iy) const { return dx(ix) * dy(iy); }
+
+  /// Bathymetric depth at rho points, meters, positive down.
+  float h(int ix, int iy) const { return h_[rho_index(ix, iy)]; }
+  void set_h(int ix, int iy, float depth) { h_[rho_index(ix, iy)] = depth; }
+  const std::vector<float>& h_field() const { return h_; }
+
+  /// Water mask at rho points (1 = water, 0 = land).
+  bool wet(int ix, int iy) const { return mask_[rho_index(ix, iy)] != 0; }
+  void set_wet(int ix, int iy, bool wet) {
+    mask_[rho_index(ix, iy)] = wet ? 1 : 0;
+  }
+  const std::vector<uint8_t>& mask() const { return mask_; }
+  size_t wet_count() const;
+
+  /// A u face is open only if both adjacent cells are water (and the face
+  /// is not on the domain edge next to land).  Domain-edge faces are open
+  /// only where flagged as an open boundary by the solver.
+  bool u_face_interior_open(int ix, int iy) const {
+    if (ix <= 0 || ix >= nx_) return false;
+    return wet(ix - 1, iy) && wet(ix, iy);
+  }
+  bool v_face_interior_open(int ix, int iy) const {
+    if (iy <= 0 || iy >= ny_) return false;
+    return wet(ix, iy - 1) && wet(ix, iy);
+  }
+
+  /// Sigma layer midpoints, ascending in (-1, 0); layer 0 is the bottom.
+  const std::vector<double>& sigma() const { return sigma_; }
+  /// Layer thickness fractions (sum to 1).
+  const std::vector<double>& sigma_thickness() const { return dsigma_; }
+
+ private:
+  int nx_, ny_, nz_;
+  std::vector<double> dx_, dy_;
+  std::vector<float> h_;
+  std::vector<uint8_t> mask_;
+  std::vector<double> sigma_, dsigma_;
+};
+
+}  // namespace coastal::ocean

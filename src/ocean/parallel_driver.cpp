@@ -1,0 +1,99 @@
+#include "ocean/parallel_driver.hpp"
+
+#include <mutex>
+
+#include "parallel/communicator.hpp"
+#include "parallel/decomposition.hpp"
+#include "util/timer.hpp"
+
+namespace coastal::ocean {
+
+namespace {
+
+// Tags for the two ghost-row exchanges.
+enum Tag : int {
+  kZetaUp = 1,
+  kZetaDown = 2,
+  kUUp = 3,
+  kUDown = 4,
+};
+
+/// Exchange one field's ghost rows with slab neighbours.  `get_row` maps a
+/// local row index (-1..nyl) to its span.
+template <typename GetRow>
+void exchange_rows(par::Comm& comm, int rank_below, int rank_above, int nyl,
+                   int tag_up, int tag_down, GetRow get_row) {
+  // Send our edge rows first (mailboxes are buffered, so no deadlock),
+  // then receive into ghosts.
+  if (rank_below >= 0) comm.send(rank_below, tag_down, get_row(0));
+  if (rank_above >= 0) comm.send(rank_above, tag_up, get_row(nyl - 1));
+  if (rank_below >= 0) comm.recv(rank_below, tag_up, get_row(-1));
+  if (rank_above >= 0) comm.recv(rank_above, tag_down, get_row(nyl));
+}
+
+}  // namespace
+
+ParallelRunResult run_decomposed(const Grid& grid, const TidalForcing& tides,
+                                 const PhysicsParams& params, int nranks,
+                                 int nsteps) {
+  COASTAL_CHECK(nranks >= 1);
+  COASTAL_CHECK_MSG(grid.ny() >= nranks,
+                    "more ranks than grid rows: " << nranks << " > "
+                                                  << grid.ny());
+  ParallelRunResult result;
+  result.zeta.assign(grid.cells(), 0.0f);
+  result.ubar.assign(static_cast<size_t>(grid.nx() + 1) * grid.ny(), 0.0f);
+  result.vbar.assign(static_cast<size_t>(grid.nx()) * (grid.ny() + 1), 0.0f);
+  std::mutex result_mutex;
+
+  util::Timer timer;
+  par::World world(nranks);
+  world.run([&](par::Comm& comm) {
+    const auto tile =
+        par::make_tile(comm.rank(), /*px=*/1, /*py=*/nranks, grid.nx(),
+                       grid.ny(), /*halo=*/1);
+    SlabSolver solver(grid, tides, params, tile.y0, tile.y1);
+    const int below = comm.rank() - 1 >= 0 ? comm.rank() - 1 : -1;
+    const int above = comm.rank() + 1 < nranks ? comm.rank() + 1 : -1;
+
+    SlabSolver::ExchangeHooks hooks;
+    hooks.exchange_zeta = [&](SlabSolver& s) {
+      exchange_rows(comm, below, above, s.nyl(), kZetaUp, kZetaDown,
+                    [&s](int jy) { return s.zeta_row(jy); });
+    };
+    hooks.exchange_u = [&](SlabSolver& s) {
+      exchange_rows(comm, below, above, s.nyl(), kUUp, kUDown,
+                    [&s](int jy) { return s.u_row(jy); });
+    };
+
+    for (int step = 0; step < nsteps; ++step) solver.step(hooks);
+
+    // Write the owned region into the shared result (disjoint regions, so
+    // only the counters need the mutex — but take it for the copies too to
+    // keep the memory model simple).
+    std::lock_guard<std::mutex> lock(result_mutex);
+    for (int jy = 0; jy < solver.nyl(); ++jy) {
+      const int gy = tile.y0 + jy;
+      auto zrow = solver.zeta_row(jy);
+      std::copy(zrow.begin(), zrow.end(),
+                result.zeta.begin() + grid.rho_index(0, gy));
+      auto urow = solver.u_row(jy);
+      std::copy(urow.begin(), urow.end(),
+                result.ubar.begin() + grid.u_index(0, gy));
+    }
+    // v faces: owner writes faces [y0, y1); the top rank also writes the
+    // global boundary face ny.
+    const int flast = (tile.y1 == grid.ny()) ? solver.nyl() : solver.nyl() - 1;
+    for (int jf = 0; jf <= flast; ++jf) {
+      auto vrow = solver.v_row(jf);
+      std::copy(vrow.begin(), vrow.end(),
+                result.vbar.begin() + grid.v_index(0, tile.y0 + jf));
+    }
+    result.halo_bytes += comm.bytes_sent();
+    result.halo_messages += comm.messages_sent();
+  });
+  result.wall_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace coastal::ocean

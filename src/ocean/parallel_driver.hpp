@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file parallel_driver.hpp
+/// Domain-decomposed run of the tidal solver over MPI-style ranks — the
+/// parallelization structure of MPI ROMS (Table I's "Traditional MPI
+/// ROMS" row).  Each rank owns a slab of rows; ghost rows of zeta and u
+/// are exchanged with the two neighbours twice per time step.
+
+#include <cstdint>
+#include <vector>
+
+#include "ocean/solver.hpp"
+
+namespace coastal::ocean {
+
+struct ParallelRunResult {
+  std::vector<float> zeta;  ///< gathered full field, nx * ny
+  std::vector<float> ubar;  ///< (nx+1) * ny
+  std::vector<float> vbar;  ///< nx * (ny+1)
+  uint64_t halo_bytes = 0;      ///< total bytes sent in halo exchanges
+  uint64_t halo_messages = 0;   ///< total halo messages
+  double wall_seconds = 0.0;
+};
+
+/// Run `nsteps` on `nranks` slabs and gather the final state.
+/// Bitwise-identical to the serial TidalModel for any rank count (tested).
+ParallelRunResult run_decomposed(const Grid& grid, const TidalForcing& tides,
+                                 const PhysicsParams& params, int nranks,
+                                 int nsteps);
+
+}  // namespace coastal::ocean

@@ -1,0 +1,106 @@
+#include "ocean/sigma.hpp"
+
+#include <cmath>
+
+namespace coastal::ocean {
+
+std::vector<double> log_profile_weights(const Grid& grid, double depth,
+                                        double z0) {
+  const int nz = grid.nz();
+  std::vector<double> w(static_cast<size_t>(nz));
+  double norm = 0.0;
+  for (int k = 0; k < nz; ++k) {
+    // Height above bottom of the layer midpoint.
+    const double zab = (grid.sigma()[static_cast<size_t>(k)] + 1.0) * depth;
+    w[static_cast<size_t>(k)] = std::log(1.0 + zab / z0);
+    norm += w[static_cast<size_t>(k)] * grid.sigma_thickness()[static_cast<size_t>(k)];
+  }
+  for (auto& x : w) x /= norm;
+  return w;
+}
+
+Snapshot reconstruct_3d(const Grid& grid, double time,
+                        const std::vector<float>& zeta,
+                        const std::vector<float>& ubar,
+                        const std::vector<float>& vbar) {
+  const int nx = grid.nx();
+  const int ny = grid.ny();
+  const int nz = grid.nz();
+  COASTAL_CHECK(zeta.size() == grid.cells());
+  COASTAL_CHECK(ubar.size() == static_cast<size_t>(nx + 1) * ny);
+  COASTAL_CHECK(vbar.size() == static_cast<size_t>(nx) * (ny + 1));
+
+  Snapshot snap;
+  snap.time = time;
+  snap.zeta = zeta;
+  snap.u3d.assign(static_cast<size_t>(nz),
+                  std::vector<float>(ubar.size(), 0.0f));
+  snap.v3d.assign(static_cast<size_t>(nz),
+                  std::vector<float>(vbar.size(), 0.0f));
+  snap.w3d.assign(static_cast<size_t>(nz),
+                  std::vector<float>(grid.cells(), 0.0f));
+
+  // --- horizontal velocities: log profile scaled by the barotropic value
+  for (int iy = 0; iy < ny; ++iy) {
+    for (int ix = 0; ix <= nx; ++ix) {
+      const float ub = ubar[grid.u_index(ix, iy)];
+      if (ub == 0.0f) continue;
+      // Face depth = average of adjacent wet columns.
+      const int il = std::max(0, ix - 1);
+      const int ir = std::min(nx - 1, ix);
+      const double D =
+          0.5 * (grid.h(il, iy) + zeta[grid.rho_index(il, iy)] +
+                 grid.h(ir, iy) + zeta[grid.rho_index(ir, iy)]);
+      const auto w = log_profile_weights(grid, std::max(D, 0.5));
+      for (int k = 0; k < nz; ++k)
+        snap.u3d[static_cast<size_t>(k)][grid.u_index(ix, iy)] =
+            static_cast<float>(ub * w[static_cast<size_t>(k)]);
+    }
+  }
+  for (int iy = 0; iy <= ny; ++iy) {
+    for (int ix = 0; ix < nx; ++ix) {
+      const float vb = vbar[grid.v_index(ix, iy)];
+      if (vb == 0.0f) continue;
+      const int js = std::max(0, iy - 1);
+      const int jn = std::min(ny - 1, iy);
+      const double D =
+          0.5 * (grid.h(ix, js) + zeta[grid.rho_index(ix, js)] +
+                 grid.h(ix, jn) + zeta[grid.rho_index(ix, jn)]);
+      const auto w = log_profile_weights(grid, std::max(D, 0.5));
+      for (int k = 0; k < nz; ++k)
+        snap.v3d[static_cast<size_t>(k)][grid.v_index(ix, iy)] =
+            static_cast<float>(vb * w[static_cast<size_t>(k)]);
+    }
+  }
+
+  // --- w from continuity: integrate the layer divergence upward from the
+  // seabed (w = 0 at sigma = -1).  w at the midpoint of layer k is the
+  // interface value below plus half this layer's contribution.
+  for (int iy = 0; iy < ny; ++iy) {
+    for (int ix = 0; ix < nx; ++ix) {
+      if (!grid.wet(ix, iy)) continue;
+      const double D = grid.h(ix, iy) + zeta[grid.rho_index(ix, iy)];
+      double w_below = 0.0;  // at the bottom interface of the current layer
+      for (int k = 0; k < nz; ++k) {
+        const double dz =
+            grid.sigma_thickness()[static_cast<size_t>(k)] * D;
+        const double dudx =
+            (snap.u3d[static_cast<size_t>(k)][grid.u_index(ix + 1, iy)] -
+             snap.u3d[static_cast<size_t>(k)][grid.u_index(ix, iy)]) /
+            grid.dx(ix);
+        const double dvdy =
+            (snap.v3d[static_cast<size_t>(k)][grid.v_index(ix, iy + 1)] -
+             snap.v3d[static_cast<size_t>(k)][grid.v_index(ix, iy)]) /
+            grid.dy(iy);
+        const double dw = -(dudx + dvdy) * dz;
+        snap.w3d[static_cast<size_t>(k)][grid.rho_index(ix, iy)] =
+            static_cast<float>(w_below + 0.5 * dw);
+        w_below += dw;
+      }
+    }
+  }
+
+  return snap;
+}
+
+}  // namespace coastal::ocean

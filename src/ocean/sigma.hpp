@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file sigma.hpp
+/// Vertical structure: expand the barotropic (depth-averaged) solution to
+/// the 3-D fields the paper's surrogate consumes (u, v, w on sigma layers).
+///
+/// ROMS's full baroclinic mode is substituted (see DESIGN.md) by a
+/// bottom-boundary-layer reconstruction: horizontal velocity follows a
+/// logarithmic profile in the vertical whose depth average equals the
+/// barotropic velocity, and the vertical velocity w is *diagnosed from
+/// continuity* — integrated upward from w = 0 at the seabed — exactly how
+/// ROMS computes omega/w from the horizontal divergence.  This keeps w
+/// physically consistent with (u, v, zeta), which matters because the
+/// water-mass verification module checks that consistency.
+
+#include <vector>
+
+#include "ocean/grid.hpp"
+
+namespace coastal::ocean {
+
+/// One simulated snapshot on the staggered grid: the four tidal variables
+/// of the paper (u, v, w, zeta).
+struct Snapshot {
+  double time = 0.0;
+  /// Horizontal velocities on sigma layers, staggered like the 2-D fields:
+  /// u3d[k] has (nx+1)*ny entries, v3d[k] has nx*(ny+1).
+  std::vector<std::vector<float>> u3d;
+  std::vector<std::vector<float>> v3d;
+  /// Vertical velocity at layer midpoints, cell-centered: nx*ny per layer.
+  std::vector<std::vector<float>> w3d;
+  /// Free surface, cell-centered, nx*ny.
+  std::vector<float> zeta;
+};
+
+/// Normalized log-layer weights per sigma layer for a column of depth D:
+/// weights w_k with sum_k w_k * dsigma_k == 1, increasing toward the
+/// surface (z0 is the bottom roughness length).
+std::vector<double> log_profile_weights(const Grid& grid, double depth,
+                                        double z0 = 0.02);
+
+/// Build the 3-D snapshot from a barotropic state.
+Snapshot reconstruct_3d(const Grid& grid, double time,
+                        const std::vector<float>& zeta,
+                        const std::vector<float>& ubar,
+                        const std::vector<float>& vbar);
+
+}  // namespace coastal::ocean

@@ -1,0 +1,257 @@
+#include "ocean/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace coastal::ocean {
+
+SlabSolver::SlabSolver(const Grid& grid, const TidalForcing& tides,
+                       PhysicsParams params, int y0, int y1)
+    : grid_(grid), tides_(tides), p_(params), y0_(y0), y1_(y1) {
+  COASTAL_CHECK_MSG(0 <= y0 && y0 < y1 && y1 <= grid.ny(),
+                    "bad slab [" << y0 << "," << y1 << ")");
+  const size_t nx = static_cast<size_t>(grid.nx());
+  const size_t rows = static_cast<size_t>(nyl());
+  zeta_.assign((rows + 2) * nx, 0.0f);
+  u_.assign((rows + 2) * (nx + 1), 0.0f);
+  v_.assign((rows + 1) * nx, 0.0f);
+}
+
+std::span<float> SlabSolver::zeta_row(int jy) {
+  COASTAL_DCHECK(jy >= -1 && jy <= nyl());
+  const size_t nx = static_cast<size_t>(grid_.nx());
+  return {zeta_.data() + static_cast<size_t>(jy + 1) * nx, nx};
+}
+std::span<const float> SlabSolver::zeta_row(int jy) const {
+  const size_t nx = static_cast<size_t>(grid_.nx());
+  return {zeta_.data() + static_cast<size_t>(jy + 1) * nx, nx};
+}
+std::span<float> SlabSolver::u_row(int jy) {
+  COASTAL_DCHECK(jy >= -1 && jy <= nyl());
+  const size_t w = static_cast<size_t>(grid_.nx()) + 1;
+  return {u_.data() + static_cast<size_t>(jy + 1) * w, w};
+}
+std::span<const float> SlabSolver::u_row(int jy) const {
+  const size_t w = static_cast<size_t>(grid_.nx()) + 1;
+  return {u_.data() + static_cast<size_t>(jy + 1) * w, w};
+}
+std::span<float> SlabSolver::v_row(int jf) {
+  COASTAL_DCHECK(jf >= 0 && jf <= nyl());
+  const size_t nx = static_cast<size_t>(grid_.nx());
+  return {v_.data() + static_cast<size_t>(jf) * nx, nx};
+}
+std::span<const float> SlabSolver::v_row(int jf) const {
+  const size_t nx = static_cast<size_t>(grid_.nx());
+  return {v_.data() + static_cast<size_t>(jf) * nx, nx};
+}
+
+void SlabSolver::update_zeta() {
+  const int nx = grid_.nx();
+  // The update must read the *old* free surface everywhere (including the
+  // ghost rows) or the result would depend on row traversal order and on
+  // the domain decomposition.
+  zeta_old_ = zeta_;
+  auto old_row = [&](int jy) -> std::span<const float> {
+    return {zeta_old_.data() + static_cast<size_t>(jy + 1) * nx,
+            static_cast<size_t>(nx)};
+  };
+  for (int jy = 0; jy < nyl(); ++jy) {
+    const int gy = y0_ + jy;
+    auto z = zeta_row(jy);
+    auto zo = old_row(jy);
+    auto uu = u_row(jy);
+    auto vlo = v_row(jy);
+    auto vhi = v_row(jy + 1);
+    for (int ix = 0; ix < nx; ++ix) {
+      if (!grid_.wet(ix, gy)) continue;
+      const double D_c = grid_.h(ix, gy) + zo[static_cast<size_t>(ix)];
+
+      // x fluxes at the two faces of this cell.
+      auto face_depth_x = [&](int face) -> double {
+        // One-sided at domain edges; average otherwise.
+        if (face == 0) return D_c;
+        if (face == nx) return D_c;
+        const int il = face - 1, ir = face;
+        double dl = grid_.wet(il, gy)
+                        ? grid_.h(il, gy) + zo[static_cast<size_t>(il)]
+                        : D_c;
+        double dr = grid_.wet(ir, gy)
+                        ? grid_.h(ir, gy) + zo[static_cast<size_t>(ir)]
+                        : D_c;
+        return 0.5 * (dl + dr);
+      };
+      const double fx_w =
+          face_depth_x(ix) * uu[static_cast<size_t>(ix)];
+      const double fx_e =
+          face_depth_x(ix + 1) * uu[static_cast<size_t>(ix + 1)];
+
+      // y fluxes; face depth averages this cell with the neighbour row.
+      auto face_depth_y = [&](int gface, std::span<const float> zn,
+                              int iy_n) -> double {
+        if (gface == 0 || gface == grid_.ny()) return D_c;
+        if (!grid_.wet(ix, iy_n)) return D_c;
+        return 0.5 * (D_c + grid_.h(ix, iy_n) + zn[static_cast<size_t>(ix)]);
+      };
+      const double fy_s = face_depth_y(gy, old_row(jy - 1), gy - 1) *
+                          vlo[static_cast<size_t>(ix)];
+      const double fy_n = face_depth_y(gy + 1, old_row(jy + 1), gy + 1) *
+                          vhi[static_cast<size_t>(ix)];
+
+      const double div = (fx_e - fx_w) / grid_.dx(ix) +
+                         (fy_n - fy_s) / grid_.dy(gy);
+      double znew = zo[static_cast<size_t>(ix)] - p_.dt * div;
+
+      // Wetting floor: never let the column dry out entirely.
+      const double floor_z = p_.min_depth - grid_.h(ix, gy);
+      if (znew < floor_z) znew = floor_z;
+      z[static_cast<size_t>(ix)] = static_cast<float>(znew);
+    }
+  }
+}
+
+void SlabSolver::update_u() {
+  const int nx = grid_.nx();
+  const double t_new = t_ + p_.dt;
+  for (int jy = 0; jy < nyl(); ++jy) {
+    const int gy = y0_ + jy;
+    auto z = zeta_row(jy);
+    auto uu = u_row(jy);
+    auto vlo = v_row(jy);
+    auto vhi = v_row(jy + 1);
+
+    // West open boundary: Flather radiation against the tide.
+    if (grid_.wet(0, gy)) {
+      const double D = grid_.h(0, gy) + z[0];
+      const double zext = tides_.elevation(t_new);
+      uu[0] = static_cast<float>(std::sqrt(p_.g / D) * (zext - z[0]));
+    } else {
+      uu[0] = 0.0f;
+    }
+
+    for (int ix = 1; ix < nx; ++ix) {
+      if (!grid_.u_face_interior_open(ix, gy)) {
+        uu[static_cast<size_t>(ix)] = 0.0f;
+        continue;
+      }
+      const double Dl = grid_.h(ix - 1, gy) + z[static_cast<size_t>(ix - 1)];
+      const double Dr = grid_.h(ix, gy) + z[static_cast<size_t>(ix)];
+      const double Du = 0.5 * (Dl + Dr);
+      const double v_at_u = 0.25 * (vlo[static_cast<size_t>(ix - 1)] +
+                                    vlo[static_cast<size_t>(ix)] +
+                                    vhi[static_cast<size_t>(ix - 1)] +
+                                    vhi[static_cast<size_t>(ix)]);
+      const double uc = uu[static_cast<size_t>(ix)];
+      const double speed = std::sqrt(uc * uc + v_at_u * v_at_u);
+      const double dx_face = 0.5 * (grid_.dx(ix - 1) + grid_.dx(ix));
+      const double dzdx =
+          (z[static_cast<size_t>(ix)] - z[static_cast<size_t>(ix - 1)]) /
+          dx_face;
+      const double rhs = uc + p_.dt * (p_.f * v_at_u - p_.g * dzdx);
+      const double denom = 1.0 + p_.dt * p_.cd * speed / Du;
+      uu[static_cast<size_t>(ix)] = static_cast<float>(rhs / denom);
+    }
+    uu[static_cast<size_t>(nx)] = 0.0f;  // east edge closed
+  }
+}
+
+void SlabSolver::update_v() {
+  const int nx = grid_.nx();
+  for (int jf = 0; jf <= nyl(); ++jf) {
+    const int gj = y0_ + jf;  // global face index
+    auto vv = v_row(jf);
+    if (gj == 0 || gj == grid_.ny()) {
+      std::fill(vv.begin(), vv.end(), 0.0f);  // closed north/south edges
+      continue;
+    }
+    auto zs = zeta_row(jf - 1);  // cell row gj-1 (ghost when jf == 0)
+    auto zn = zeta_row(jf);      // cell row gj   (ghost when jf == nyl)
+    auto us = u_row(jf - 1);
+    auto un = u_row(jf);
+    for (int ix = 0; ix < nx; ++ix) {
+      if (!grid_.v_face_interior_open(ix, gj)) {
+        vv[static_cast<size_t>(ix)] = 0.0f;
+        continue;
+      }
+      const double Ds = grid_.h(ix, gj - 1) + zs[static_cast<size_t>(ix)];
+      const double Dn = grid_.h(ix, gj) + zn[static_cast<size_t>(ix)];
+      const double Dv = 0.5 * (Ds + Dn);
+      const double u_at_v = 0.25 * (us[static_cast<size_t>(ix)] +
+                                    us[static_cast<size_t>(ix + 1)] +
+                                    un[static_cast<size_t>(ix)] +
+                                    un[static_cast<size_t>(ix + 1)]);
+      const double vc = vv[static_cast<size_t>(ix)];
+      const double speed = std::sqrt(vc * vc + u_at_v * u_at_v);
+      const double dy_face = 0.5 * (grid_.dy(gj - 1) + grid_.dy(gj));
+      const double dzdy =
+          (zn[static_cast<size_t>(ix)] - zs[static_cast<size_t>(ix)]) /
+          dy_face;
+      const double rhs = vc + p_.dt * (-p_.f * u_at_v - p_.g * dzdy);
+      const double denom = 1.0 + p_.dt * p_.cd * speed / Dv;
+      vv[static_cast<size_t>(ix)] = static_cast<float>(rhs / denom);
+    }
+  }
+}
+
+void SlabSolver::step(const ExchangeHooks& hooks) {
+  update_zeta();
+  if (hooks.exchange_zeta) hooks.exchange_zeta(*this);
+  update_u();
+  if (hooks.exchange_u) hooks.exchange_u(*this);
+  update_v();
+  t_ += p_.dt;
+}
+
+double SlabSolver::owned_volume() const {
+  double vol = 0.0;
+  for (int jy = 0; jy < nyl(); ++jy) {
+    const int gy = y0_ + jy;
+    auto z = zeta_row(jy);
+    for (int ix = 0; ix < grid_.nx(); ++ix) {
+      if (!grid_.wet(ix, gy)) continue;
+      vol += (grid_.h(ix, gy) + z[static_cast<size_t>(ix)]) *
+             grid_.area(ix, gy);
+    }
+  }
+  return vol;
+}
+
+TidalModel::TidalModel(const Grid& grid, const TidalForcing& tides,
+                       PhysicsParams params)
+    : grid_(grid), slab_(grid, tides, params, 0, grid.ny()) {}
+
+void TidalModel::run_seconds(double seconds) {
+  const double target = slab_.time() + seconds;
+  while (slab_.time() < target - 1e-9) slab_.step();
+}
+
+std::vector<float> TidalModel::zeta() const {
+  std::vector<float> out;
+  out.reserve(grid_.cells());
+  for (int jy = 0; jy < grid_.ny(); ++jy) {
+    auto row = slab_.zeta_row(jy);
+    out.insert(out.end(), row.begin(), row.end());
+  }
+  return out;
+}
+
+std::vector<float> TidalModel::ubar() const {
+  std::vector<float> out;
+  out.reserve(static_cast<size_t>(grid_.nx() + 1) * grid_.ny());
+  for (int jy = 0; jy < grid_.ny(); ++jy) {
+    auto row = slab_.u_row(jy);
+    out.insert(out.end(), row.begin(), row.end());
+  }
+  return out;
+}
+
+std::vector<float> TidalModel::vbar() const {
+  std::vector<float> out;
+  out.reserve(grid_.cells() + static_cast<size_t>(grid_.nx()));
+  for (int jf = 0; jf <= grid_.ny(); ++jf) {
+    auto row = slab_.v_row(jf);
+    out.insert(out.end(), row.begin(), row.end());
+  }
+  return out;
+}
+
+}  // namespace coastal::ocean

@@ -1,0 +1,163 @@
+#include "parallel/communicator.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <limits>
+#include <thread>
+
+namespace coastal::par {
+
+int Comm::size() const { return world_->size(); }
+
+void Comm::send(int dest, int tag, std::span<const float> data) {
+  COASTAL_CHECK_MSG(dest >= 0 && dest < world_->size(),
+                    "send: bad destination rank " << dest);
+  bytes_sent_ += data.size() * sizeof(float);
+  ++messages_sent_;
+  world_->push_message(dest, rank_, tag, data);
+}
+
+void Comm::recv(int source, int tag, std::span<float> out) {
+  COASTAL_CHECK_MSG(source >= 0 && source < world_->size(),
+                    "recv: bad source rank " << source);
+  world_->pop_message(rank_, source, tag, out);
+}
+
+void Comm::barrier() { world_->barrier_.arrive_and_wait(); }
+
+void Comm::allreduce_sum(std::span<float> data) {
+  // Rank 0 resets the shared accumulator, everyone adds, everyone copies
+  // back.  Three barriers — simple and correct; fine at in-process scale.
+  // Accounting models ring-allreduce traffic: ~2 x payload per rank.
+  bytes_sent_ += 2 * data.size() * sizeof(float);
+  ++messages_sent_;
+  if (rank_ == 0) {
+    world_->reduce_buf_.assign(data.size(), 0.0f);
+    world_->reduce_len_ = data.size();
+  }
+  barrier();
+  COASTAL_CHECK_MSG(world_->reduce_len_ == data.size(),
+                    "allreduce size mismatch across ranks");
+  {
+    std::lock_guard<std::mutex> lock(world_->reduce_mutex_);
+    for (size_t i = 0; i < data.size(); ++i) world_->reduce_buf_[i] += data[i];
+  }
+  barrier();
+  std::copy(world_->reduce_buf_.begin(), world_->reduce_buf_.end(),
+            data.begin());
+  barrier();
+}
+
+void Comm::allreduce_max(std::span<float> data) {
+  bytes_sent_ += 2 * data.size() * sizeof(float);
+  ++messages_sent_;
+  if (rank_ == 0) {
+    world_->reduce_buf_.assign(data.size(),
+                               -std::numeric_limits<float>::infinity());
+    world_->reduce_len_ = data.size();
+  }
+  barrier();
+  COASTAL_CHECK_MSG(world_->reduce_len_ == data.size(),
+                    "allreduce size mismatch across ranks");
+  {
+    std::lock_guard<std::mutex> lock(world_->reduce_mutex_);
+    for (size_t i = 0; i < data.size(); ++i)
+      world_->reduce_buf_[i] = std::max(world_->reduce_buf_[i], data[i]);
+  }
+  barrier();
+  std::copy(world_->reduce_buf_.begin(), world_->reduce_buf_.end(),
+            data.begin());
+  barrier();
+}
+
+void Comm::broadcast(int root, std::span<float> data) {
+  if (rank_ == root) {
+    world_->reduce_buf_.assign(data.begin(), data.end());
+    world_->reduce_len_ = data.size();
+  }
+  barrier();
+  COASTAL_CHECK_MSG(world_->reduce_len_ == data.size(),
+                    "broadcast size mismatch across ranks");
+  if (rank_ != root) {
+    std::copy(world_->reduce_buf_.begin(), world_->reduce_buf_.end(),
+              data.begin());
+  }
+  barrier();
+}
+
+void Comm::gather(int root, std::span<const float> local,
+                  std::vector<float>& out) {
+  if (rank_ == root) {
+    world_->reduce_buf_.assign(local.size() * world_->size(), 0.0f);
+    world_->reduce_len_ = local.size();
+  }
+  barrier();
+  COASTAL_CHECK_MSG(world_->reduce_len_ == local.size(),
+                    "gather size mismatch across ranks");
+  std::copy(local.begin(), local.end(),
+            world_->reduce_buf_.begin() +
+                static_cast<ptrdiff_t>(rank_ * local.size()));
+  barrier();
+  if (rank_ == root) {
+    out.assign(world_->reduce_buf_.begin(), world_->reduce_buf_.end());
+  }
+  barrier();
+}
+
+World::World(int size) : size_(size), barrier_(size) {
+  COASTAL_CHECK_MSG(size >= 1, "World needs at least one rank");
+  mailboxes_.reserve(static_cast<size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+void World::run(const std::function<void(Comm&)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(size_));
+  std::mutex err_mutex;
+  std::exception_ptr first_error;
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(this, r);
+      try {
+        fn(comm);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void World::push_message(int dest, int source, int tag,
+                         std::span<const float> data) {
+  Mailbox& box = *mailboxes_[static_cast<size_t>(dest)];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.slots[{source, tag}].push(
+        Message{std::vector<float>(data.begin(), data.end())});
+  }
+  box.cv.notify_all();
+}
+
+void World::pop_message(int self, int source, int tag, std::span<float> out) {
+  Mailbox& box = *mailboxes_[static_cast<size_t>(self)];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  auto key = std::make_pair(source, tag);
+  box.cv.wait(lock, [&] {
+    auto it = box.slots.find(key);
+    return it != box.slots.end() && !it->second.empty();
+  });
+  auto& q = box.slots[key];
+  Message msg = std::move(q.front());
+  q.pop();
+  COASTAL_CHECK_MSG(msg.payload.size() == out.size(),
+                    "recv: message length " << msg.payload.size()
+                                            << " != buffer " << out.size());
+  std::copy(msg.payload.begin(), msg.payload.end(), out.begin());
+}
+
+}  // namespace coastal::par

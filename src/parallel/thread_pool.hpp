@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// Fixed-size worker pool with a parallel_for helper.  Used by the tensor
+/// ops for intra-op parallelism and by the data loader for prefetch
+/// workers.  On a single-core host the pool still provides the concurrency
+/// structure (overlapping simulated I/O with compute) even though it cannot
+/// provide speedup.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace coastal::par {
+
+class ThreadPool {
+ public:
+  /// `num_threads == 0` selects hardware_concurrency (min 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; returns a future for its completion.
+  std::future<void> submit(std::function<void()> fn);
+
+  /// Run fn(begin..end) split into `size()` contiguous chunks and wait.
+  /// fn receives (chunk_begin, chunk_end).
+  void parallel_for(size_t begin, size_t end,
+                    const std::function<void(size_t, size_t)>& fn);
+
+  /// Process-wide shared pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace coastal::par

@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file half.hpp
+/// IEEE-754 binary16 conversion.
+///
+/// The paper converts the FP64 ROMS output to FP16 for surrogate training
+/// ("the data is converted to FP16 ... to enable faster computation and
+/// reduced memory usage").  We mirror that: the sample store keeps fields
+/// as uint16 half floats (halving dataset bytes and simulated SSD time);
+/// compute promotes to FP32.  Round-to-nearest-even, with proper
+/// subnormal, infinity, and NaN handling.
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace coastal::tensor {
+
+using half_t = uint16_t;
+
+inline half_t float_to_half(float f) {
+  uint32_t x;
+  std::memcpy(&x, &f, sizeof(x));
+  const uint32_t sign = (x >> 16) & 0x8000u;
+  const int32_t exp = static_cast<int32_t>((x >> 23) & 0xFFu) - 127 + 15;
+  uint32_t mant = x & 0x7FFFFFu;
+
+  if (((x >> 23) & 0xFFu) == 0xFFu) {  // inf / NaN
+    return static_cast<half_t>(sign | 0x7C00u | (mant ? 0x200u : 0u));
+  }
+  if (exp >= 0x1F) {  // overflow -> inf
+    return static_cast<half_t>(sign | 0x7C00u);
+  }
+  if (exp <= 0) {  // subnormal or zero
+    if (exp < -10) return static_cast<half_t>(sign);
+    mant |= 0x800000u;  // implicit leading 1
+    const int shift = 14 - exp;
+    uint32_t sub = mant >> shift;
+    // round to nearest even
+    const uint32_t rem = mant & ((1u << shift) - 1);
+    const uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (sub & 1u))) ++sub;
+    return static_cast<half_t>(sign | sub);
+  }
+  // normal: round mantissa from 23 to 10 bits, nearest even
+  uint32_t out = sign | (static_cast<uint32_t>(exp) << 10) | (mant >> 13);
+  const uint32_t rem = mant & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (out & 1u))) ++out;  // may carry into exp — that is correct rounding
+  return static_cast<half_t>(out);
+}
+
+inline float half_to_float(half_t h) {
+  const uint32_t sign = (static_cast<uint32_t>(h) & 0x8000u) << 16;
+  const uint32_t exp = (h >> 10) & 0x1Fu;
+  const uint32_t mant = h & 0x3FFu;
+  uint32_t x;
+  if (exp == 0) {
+    if (mant == 0) {
+      x = sign;  // signed zero
+    } else {
+      // subnormal: normalize
+      int e = -1;
+      uint32_t m = mant;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x400u) == 0);
+      x = sign | (static_cast<uint32_t>(127 - 15 - e) << 23) |
+          ((m & 0x3FFu) << 13);
+    }
+  } else if (exp == 0x1F) {
+    x = sign | 0x7F800000u | (mant << 13);
+  } else {
+    x = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  float f;
+  std::memcpy(&f, &x, sizeof(f));
+  return f;
+}
+
+inline std::vector<half_t> to_half(std::span<const float> xs) {
+  std::vector<half_t> out(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) out[i] = float_to_half(xs[i]);
+  return out;
+}
+
+inline std::vector<float> to_float(std::span<const half_t> xs) {
+  std::vector<float> out(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) out[i] = half_to_float(xs[i]);
+  return out;
+}
+
+}  // namespace coastal::tensor

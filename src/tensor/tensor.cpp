@@ -1,0 +1,989 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace coastal::tensor {
+
+// ---------------------------------------------------------------------------
+// Allocation accounting
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<uint64_t> g_current_bytes{0};
+std::atomic<uint64_t> g_peak_bytes{0};
+std::atomic<uint64_t> g_total_allocs{0};
+
+void note_alloc(uint64_t bytes) {
+  const uint64_t cur = g_current_bytes.fetch_add(bytes) + bytes;
+  g_total_allocs.fetch_add(1);
+  uint64_t peak = g_peak_bytes.load();
+  while (cur > peak && !g_peak_bytes.compare_exchange_weak(peak, cur)) {
+  }
+}
+
+void note_free(uint64_t bytes) { g_current_bytes.fetch_sub(bytes); }
+
+thread_local bool t_grad_enabled = true;
+}  // namespace
+
+AllocStats alloc_stats() {
+  return {g_current_bytes.load(), g_peak_bytes.load(), g_total_allocs.load()};
+}
+
+void reset_peak_bytes() { g_peak_bytes.store(g_current_bytes.load()); }
+
+TensorImpl::TensorImpl(Shape s, std::vector<float> d)
+    : shape(std::move(s)), data(std::move(d)) {
+  COASTAL_CHECK_MSG(static_cast<int64_t>(data.size()) == tensor::numel(shape),
+                    "data size " << data.size() << " != numel of "
+                                 << shape_str(shape));
+  note_alloc(data.size() * sizeof(float));
+}
+
+TensorImpl::~TensorImpl() { note_free(data.size() * sizeof(float)); }
+
+bool grad_enabled() { return t_grad_enabled; }
+
+NoGradGuard::NoGradGuard() : prev_(t_grad_enabled) { t_grad_enabled = false; }
+NoGradGuard::~NoGradGuard() { t_grad_enabled = prev_; }
+
+GradModeGuard::GradModeGuard(bool enable) : prev_(t_grad_enabled) {
+  t_grad_enabled = enable;
+}
+GradModeGuard::~GradModeGuard() { t_grad_enabled = prev_; }
+
+// ---------------------------------------------------------------------------
+// Op-result construction
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool needs_graph(const std::vector<Tensor>& parents) {
+  if (!t_grad_enabled) return false;
+  for (const auto& p : parents) {
+    if (p.defined() && (p.requires_grad() || p.has_grad_fn())) return true;
+  }
+  return false;
+}
+
+Tensor make_result(
+    Shape shape, std::vector<float> data, const char* name,
+    std::vector<Tensor> parents,
+    std::function<std::vector<Tensor>(const Tensor&)> backward) {
+  auto impl = std::make_shared<TensorImpl>(std::move(shape), std::move(data));
+  if (needs_graph(parents)) {
+    auto node = std::make_shared<Node>();
+    node->name = name;
+    node->parents.reserve(parents.size());
+    for (const auto& p : parents) node->parents.push_back(p.impl());
+    node->backward = std::move(backward);
+    impl->grad_fn = std::move(node);
+  }
+  return Tensor(std::move(impl));
+}
+
+/// Accumulate `g` into `acc` (clone on first write so the source graph's
+/// buffers are never aliased).
+void add_into(Tensor& acc, const Tensor& g) {
+  if (!acc.defined()) {
+    acc = g.clone();
+    return;
+  }
+  COASTAL_CHECK(acc.shape() == g.shape());
+  float* a = acc.raw();
+  const float* b = g.raw();
+  const int64_t n = acc.numel();
+  for (int64_t i = 0; i < n; ++i) a[i] += b[i];
+}
+
+/// Non-differentiable broadcast materialization (backward helper).
+Tensor broadcast_to(const Tensor& t, const Shape& target) {
+  if (t.shape() == target) return t;
+  const Shape bstr = broadcast_strides(t.shape(), target);
+  std::vector<float> out(static_cast<size_t>(tensor::numel(target)));
+  CoordIter it(target);
+  const float* src = t.raw();
+  size_t k = 0;
+  do {
+    out[k++] = src[dot_strides(it.coords(), bstr)];
+  } while (it.next());
+  return Tensor::from_vector(target, std::move(out));
+}
+
+int normalize_axis(int axis, size_t ndim) {
+  int a = axis < 0 ? axis + static_cast<int>(ndim) : axis;
+  COASTAL_CHECK_MSG(a >= 0 && a < static_cast<int>(ndim),
+                    "axis " << axis << " out of range for ndim " << ndim);
+  return a;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Creation
+// ---------------------------------------------------------------------------
+
+Tensor Tensor::zeros(const Shape& shape) {
+  return Tensor(std::make_shared<TensorImpl>(
+      shape, std::vector<float>(static_cast<size_t>(tensor::numel(shape)), 0.0f)));
+}
+
+Tensor Tensor::ones(const Shape& shape) { return full(shape, 1.0f); }
+
+Tensor Tensor::full(const Shape& shape, float value) {
+  return Tensor(std::make_shared<TensorImpl>(
+      shape,
+      std::vector<float>(static_cast<size_t>(tensor::numel(shape)), value)));
+}
+
+Tensor Tensor::from_vector(const Shape& shape, std::vector<float> values) {
+  return Tensor(std::make_shared<TensorImpl>(shape, std::move(values)));
+}
+
+Tensor Tensor::randn(const Shape& shape, util::Rng& rng, float stddev) {
+  std::vector<float> v(static_cast<size_t>(tensor::numel(shape)));
+  for (auto& x : v) x = static_cast<float>(rng.normal(0.0, stddev));
+  return from_vector(shape, std::move(v));
+}
+
+Tensor Tensor::uniform(const Shape& shape, util::Rng& rng, float lo, float hi) {
+  std::vector<float> v(static_cast<size_t>(tensor::numel(shape)));
+  for (auto& x : v) x = static_cast<float>(rng.uniform(lo, hi));
+  return from_vector(shape, std::move(v));
+}
+
+Tensor Tensor::arange(int64_t n) {
+  std::vector<float> v(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) v[static_cast<size_t>(i)] = static_cast<float>(i);
+  return from_vector({n}, std::move(v));
+}
+
+// ---------------------------------------------------------------------------
+// Accessors
+// ---------------------------------------------------------------------------
+
+float Tensor::item() const {
+  COASTAL_CHECK_MSG(numel() == 1, "item() on tensor of " << numel() << " elems");
+  return impl_->data[0];
+}
+
+float Tensor::at(const std::vector<int64_t>& coords) const {
+  COASTAL_CHECK(coords.size() == ndim());
+  const Shape st = strides_of(shape());
+  return impl_->data[static_cast<size_t>(dot_strides(coords, st))];
+}
+
+void Tensor::set(const std::vector<int64_t>& coords, float v) {
+  COASTAL_CHECK(coords.size() == ndim());
+  const Shape st = strides_of(shape());
+  impl_->data[static_cast<size_t>(dot_strides(coords, st))] = v;
+}
+
+// ---------------------------------------------------------------------------
+// Autograd plumbing
+// ---------------------------------------------------------------------------
+
+Tensor& Tensor::set_requires_grad(bool rg) {
+  COASTAL_CHECK_MSG(!impl_->grad_fn,
+                    "requires_grad can only be set on leaf tensors");
+  impl_->requires_grad = rg;
+  return *this;
+}
+
+Tensor Tensor::grad() const {
+  return impl_->grad ? Tensor(impl_->grad) : Tensor();
+}
+
+void Tensor::zero_grad() { impl_->grad.reset(); }
+
+void Tensor::accumulate_grad(const Tensor& g) {
+  COASTAL_CHECK(g.shape() == shape());
+  if (!impl_->grad) {
+    impl_->grad = g.clone().impl();
+    return;
+  }
+  float* a = impl_->grad->data.data();
+  const float* b = g.raw();
+  const int64_t n = numel();
+  for (int64_t i = 0; i < n; ++i) a[i] += b[i];
+}
+
+void Tensor::backward(const Tensor& seed) const {
+  COASTAL_CHECK_MSG(impl_ != nullptr, "backward() on undefined tensor");
+  // Topological order of impls reachable through grad_fn edges.
+  std::vector<TensorImpl*> order;
+  {
+    std::unordered_set<TensorImpl*> visited;
+    // Iterative DFS with explicit post-order.
+    struct Frame {
+      TensorImpl* impl;
+      size_t next_child;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({impl_.get(), 0});
+    visited.insert(impl_.get());
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      Node* node = f.impl->grad_fn.get();
+      const size_t nchildren = node ? node->parents.size() : 0;
+      if (f.next_child < nchildren) {
+        TensorImpl* child = node->parents[f.next_child++].get();
+        if (child && !visited.count(child) && child->grad_fn) {
+          visited.insert(child);
+          stack.push_back({child, 0});
+        }
+      } else {
+        order.push_back(f.impl);
+        stack.pop_back();
+      }
+    }
+  }
+
+  std::unordered_map<TensorImpl*, Tensor> gradmap;
+  {
+    Tensor s = seed.defined() ? seed : Tensor::ones(shape());
+    COASTAL_CHECK_MSG(s.shape() == shape(), "backward seed shape mismatch");
+    if (!impl_->grad_fn) {
+      // Root is itself a leaf; nothing to traverse.
+      if (impl_->requires_grad) const_cast<Tensor*>(this)->accumulate_grad(s);
+      return;
+    }
+    gradmap[impl_.get()] = s.clone();
+  }
+
+  NoGradGuard no_grad;
+  // `order` is post-order (children before parents-of-graph == producers
+  // before consumers? no: DFS from root descends to producers, so root is
+  // last).  Reverse iteration visits the root first, then upstream.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    TensorImpl* impl = *it;
+    if (!impl->grad_fn) continue;
+    auto found = gradmap.find(impl);
+    if (found == gradmap.end()) continue;  // unused branch
+    const Tensor g = found->second;
+    std::vector<Tensor> pgrads = impl->grad_fn->backward(g);
+    COASTAL_CHECK(pgrads.size() == impl->grad_fn->parents.size());
+    for (size_t i = 0; i < pgrads.size(); ++i) {
+      if (!pgrads[i].defined()) continue;
+      TensorImpl* parent = impl->grad_fn->parents[i].get();
+      if (parent->grad_fn) {
+        add_into(gradmap[parent], pgrads[i]);
+      } else if (parent->requires_grad) {
+        Tensor(impl->grad_fn->parents[i]).accumulate_grad(pgrads[i]);
+      }
+    }
+    gradmap.erase(found);  // free as we go
+  }
+}
+
+Tensor Tensor::detach() const {
+  return Tensor::from_vector(shape(),
+                             std::vector<float>(impl_->data.begin(),
+                                                impl_->data.end()));
+}
+
+Tensor Tensor::clone() const { return detach(); }
+
+// ---------------------------------------------------------------------------
+// Elementwise binary ops with broadcasting
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <typename FwdFn>
+std::vector<float> broadcast_apply(const Tensor& a, const Tensor& b,
+                                   const Shape& out_shape, FwdFn fn) {
+  std::vector<float> out(static_cast<size_t>(tensor::numel(out_shape)));
+  if (a.shape() == b.shape()) {
+    const float* pa = a.raw();
+    const float* pb = b.raw();
+    for (size_t i = 0; i < out.size(); ++i) out[i] = fn(pa[i], pb[i]);
+    return out;
+  }
+  const Shape sa = broadcast_strides(a.shape(), out_shape);
+  const Shape sb = broadcast_strides(b.shape(), out_shape);
+  CoordIter it(out_shape);
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  size_t k = 0;
+  do {
+    out[k++] = fn(pa[dot_strides(it.coords(), sa)],
+                  pb[dot_strides(it.coords(), sb)]);
+  } while (it.next());
+  return out;
+}
+
+}  // namespace
+
+Tensor Tensor::add(const Tensor& o) const {
+  const Shape out_shape = broadcast_shapes(shape(), o.shape());
+  auto out = broadcast_apply(*this, o, out_shape,
+                             [](float x, float y) { return x + y; });
+  const Shape sa = shape(), sb = o.shape();
+  return make_result(out_shape, std::move(out), "add", {*this, o},
+                     [sa, sb](const Tensor& g) -> std::vector<Tensor> {
+                       return {g.sum_to(sa), g.sum_to(sb)};
+                     });
+}
+
+Tensor Tensor::sub(const Tensor& o) const {
+  const Shape out_shape = broadcast_shapes(shape(), o.shape());
+  auto out = broadcast_apply(*this, o, out_shape,
+                             [](float x, float y) { return x - y; });
+  const Shape sa = shape(), sb = o.shape();
+  return make_result(out_shape, std::move(out), "sub", {*this, o},
+                     [sa, sb](const Tensor& g) -> std::vector<Tensor> {
+                       return {g.sum_to(sa), g.neg().sum_to(sb)};
+                     });
+}
+
+Tensor Tensor::mul(const Tensor& o) const {
+  const Shape out_shape = broadcast_shapes(shape(), o.shape());
+  auto out = broadcast_apply(*this, o, out_shape,
+                             [](float x, float y) { return x * y; });
+  Tensor a = *this, b = o;
+  return make_result(out_shape, std::move(out), "mul", {a, b},
+                     [a, b](const Tensor& g) -> std::vector<Tensor> {
+                       Tensor ga = g.mul(b).sum_to(a.shape());
+                       Tensor gb = g.mul(a).sum_to(b.shape());
+                       return {ga, gb};
+                     });
+}
+
+Tensor Tensor::div(const Tensor& o) const {
+  const Shape out_shape = broadcast_shapes(shape(), o.shape());
+  auto out = broadcast_apply(*this, o, out_shape,
+                             [](float x, float y) { return x / y; });
+  Tensor a = *this, b = o;
+  return make_result(
+      out_shape, std::move(out), "div", {a, b},
+      [a, b](const Tensor& g) -> std::vector<Tensor> {
+        Tensor ga = g.div(b).sum_to(a.shape());
+        Tensor gb = g.mul(a).div(b.mul(b)).neg().sum_to(b.shape());
+        return {ga, gb};
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise unary ops
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <typename FwdFn, typename BwdFn>
+Tensor unary_op(const Tensor& x, const char* name, FwdFn fwd, BwdFn bwd) {
+  std::vector<float> out(static_cast<size_t>(x.numel()));
+  const float* px = x.raw();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = fwd(px[i]);
+  Tensor saved_x = x;
+  Tensor result = make_result(
+      x.shape(), std::move(out), name, {x},
+      [saved_x, bwd](const Tensor& g) -> std::vector<Tensor> {
+        std::vector<float> gx(static_cast<size_t>(g.numel()));
+        const float* pg = g.raw();
+        const float* px = saved_x.raw();
+        for (size_t i = 0; i < gx.size(); ++i) gx[i] = bwd(pg[i], px[i]);
+        return {Tensor::from_vector(saved_x.shape(), std::move(gx))};
+      });
+  return result;
+}
+
+}  // namespace
+
+Tensor Tensor::neg() const {
+  return unary_op(*this, "neg", [](float x) { return -x; },
+                  [](float g, float) { return -g; });
+}
+
+Tensor Tensor::add_scalar(float s) const {
+  return unary_op(*this, "add_scalar", [s](float x) { return x + s; },
+                  [](float g, float) { return g; });
+}
+
+Tensor Tensor::mul_scalar(float s) const {
+  return unary_op(*this, "mul_scalar", [s](float x) { return x * s; },
+                  [s](float g, float) { return g * s; });
+}
+
+Tensor Tensor::pow_scalar(float p) const {
+  return unary_op(*this, "pow_scalar",
+                  [p](float x) { return std::pow(x, p); },
+                  [p](float g, float x) {
+                    return g * p * std::pow(x, p - 1.0f);
+                  });
+}
+
+Tensor Tensor::exp() const {
+  return unary_op(*this, "exp", [](float x) { return std::exp(x); },
+                  [](float g, float x) { return g * std::exp(x); });
+}
+
+Tensor Tensor::log() const {
+  return unary_op(*this, "log", [](float x) { return std::log(x); },
+                  [](float g, float x) { return g / x; });
+}
+
+Tensor Tensor::sqrt() const {
+  return unary_op(*this, "sqrt", [](float x) { return std::sqrt(x); },
+                  [](float g, float x) {
+                    return g * 0.5f / std::sqrt(x);
+                  });
+}
+
+Tensor Tensor::tanh() const {
+  return unary_op(*this, "tanh", [](float x) { return std::tanh(x); },
+                  [](float g, float x) {
+                    const float t = std::tanh(x);
+                    return g * (1.0f - t * t);
+                  });
+}
+
+Tensor Tensor::sigmoid() const {
+  return unary_op(*this, "sigmoid",
+                  [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+                  [](float g, float x) {
+                    const float s = 1.0f / (1.0f + std::exp(-x));
+                    return g * s * (1.0f - s);
+                  });
+}
+
+Tensor Tensor::relu() const {
+  return unary_op(*this, "relu", [](float x) { return x > 0 ? x : 0.0f; },
+                  [](float g, float x) { return x > 0 ? g : 0.0f; });
+}
+
+Tensor Tensor::gelu() const {
+  constexpr float kInvSqrt2 = 0.7071067811865475f;
+  constexpr float kInvSqrt2Pi = 0.3989422804014327f;
+  return unary_op(
+      *this, "gelu",
+      [](float x) {
+        return 0.5f * x * (1.0f + std::erf(x * kInvSqrt2));
+      },
+      [](float g, float x) {
+        const float cdf = 0.5f * (1.0f + std::erf(x * kInvSqrt2));
+        const float pdf = kInvSqrt2Pi * std::exp(-0.5f * x * x);
+        return g * (cdf + x * pdf);
+      });
+}
+
+Tensor Tensor::abs() const {
+  return unary_op(*this, "abs", [](float x) { return std::abs(x); },
+                  [](float g, float x) {
+                    return x >= 0 ? g : -g;
+                  });
+}
+
+// ---------------------------------------------------------------------------
+// Reductions
+// ---------------------------------------------------------------------------
+
+Tensor Tensor::sum() const {
+  double acc = 0.0;
+  for (float v : impl_->data) acc += v;
+  const Shape in_shape = shape();
+  return make_result({1}, {static_cast<float>(acc)}, "sum", {*this},
+                     [in_shape](const Tensor& g) -> std::vector<Tensor> {
+                       return {broadcast_to(
+                           g.reshape(Shape(in_shape.size(), 1)), in_shape)};
+                     });
+}
+
+Tensor Tensor::mean() const { return sum().mul_scalar(1.0f / static_cast<float>(numel())); }
+
+Tensor Tensor::sum_axis(int axis, bool keepdim) const {
+  const int a = normalize_axis(axis, ndim());
+  const Shape in = shape();
+  Shape keep = in;
+  keep[static_cast<size_t>(a)] = 1;
+  // Iterate as [outer, axis, inner].
+  int64_t outer = 1, inner = 1;
+  for (int i = 0; i < a; ++i) outer *= in[static_cast<size_t>(i)];
+  for (size_t i = static_cast<size_t>(a) + 1; i < in.size(); ++i) inner *= in[i];
+  const int64_t len = in[static_cast<size_t>(a)];
+  std::vector<float> out(static_cast<size_t>(outer * inner), 0.0f);
+  const float* p = raw();
+  for (int64_t o = 0; o < outer; ++o)
+    for (int64_t l = 0; l < len; ++l)
+      for (int64_t i = 0; i < inner; ++i)
+        out[static_cast<size_t>(o * inner + i)] +=
+            p[static_cast<size_t>((o * len + l) * inner + i)];
+
+  Shape out_shape = keep;
+  if (!keepdim) out_shape.erase(out_shape.begin() + a);
+  if (out_shape.empty()) out_shape = {1};
+  return make_result(out_shape, std::move(out), "sum_axis", {*this},
+                     [in, keep](const Tensor& g) -> std::vector<Tensor> {
+                       return {broadcast_to(g.reshape(keep), in)};
+                     });
+}
+
+Tensor Tensor::mean_axis(int axis, bool keepdim) const {
+  const int a = normalize_axis(axis, ndim());
+  const float inv = 1.0f / static_cast<float>(shape()[static_cast<size_t>(a)]);
+  return sum_axis(axis, keepdim).mul_scalar(inv);
+}
+
+Tensor Tensor::max_axis(int axis, bool keepdim) const {
+  const int a = normalize_axis(axis, ndim());
+  const Shape in = shape();
+  Shape keep = in;
+  keep[static_cast<size_t>(a)] = 1;
+  int64_t outer = 1, inner = 1;
+  for (int i = 0; i < a; ++i) outer *= in[static_cast<size_t>(i)];
+  for (size_t i = static_cast<size_t>(a) + 1; i < in.size(); ++i) inner *= in[i];
+  const int64_t len = in[static_cast<size_t>(a)];
+  std::vector<float> out(static_cast<size_t>(outer * inner),
+                         -std::numeric_limits<float>::infinity());
+  auto argmax = std::make_shared<std::vector<int64_t>>(
+      static_cast<size_t>(outer * inner), 0);
+  const float* p = raw();
+  for (int64_t o = 0; o < outer; ++o)
+    for (int64_t l = 0; l < len; ++l)
+      for (int64_t i = 0; i < inner; ++i) {
+        const float v = p[static_cast<size_t>((o * len + l) * inner + i)];
+        const size_t oi = static_cast<size_t>(o * inner + i);
+        if (v > out[oi]) {
+          out[oi] = v;
+          (*argmax)[oi] = l;
+        }
+      }
+  Shape out_shape = keep;
+  if (!keepdim) out_shape.erase(out_shape.begin() + a);
+  if (out_shape.empty()) out_shape = {1};
+  return make_result(
+      out_shape, std::move(out), "max_axis", {*this},
+      [in, outer, inner, len, argmax](const Tensor& g) -> std::vector<Tensor> {
+        std::vector<float> gx(static_cast<size_t>(tensor::numel(in)), 0.0f);
+        const float* pg = g.raw();
+        for (int64_t o = 0; o < outer; ++o)
+          for (int64_t i = 0; i < inner; ++i) {
+            const size_t oi = static_cast<size_t>(o * inner + i);
+            const int64_t l = (*argmax)[oi];
+            gx[static_cast<size_t>((o * len + l) * inner + i)] = pg[oi];
+          }
+        return {Tensor::from_vector(in, std::move(gx))};
+      });
+}
+
+Tensor Tensor::sum_to(const Shape& target) const {
+  if (shape() == target) return *this;
+  // Sum over leading extra axes and over broadcast axes.
+  std::vector<float> out(static_cast<size_t>(tensor::numel(target)), 0.0f);
+  const Shape tstr = broadcast_strides(target, shape());
+  CoordIter it(shape());
+  const float* p = raw();
+  size_t k = 0;
+  do {
+    out[static_cast<size_t>(dot_strides(it.coords(), tstr))] += p[k++];
+  } while (it.next());
+  return Tensor::from_vector(target, std::move(out));
+}
+
+// ---------------------------------------------------------------------------
+// Matmul
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// C[m,n] += A[m,k] * B[k,n], row-major; ikj loop order for locality.
+void gemm_acc(const float* A, const float* B, float* C, int64_t m, int64_t k,
+              int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = C + i * n;
+    const float* arow = A + i * k;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float a = arow[kk];
+      if (a == 0.0f) continue;
+      const float* brow = B + kk * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += a * brow[j];
+    }
+  }
+}
+
+Shape batch_dims(const Shape& s) {
+  return Shape(s.begin(), s.end() - 2);
+}
+
+}  // namespace
+
+Tensor Tensor::matmul(const Tensor& o) const {
+  COASTAL_CHECK_MSG(ndim() >= 2 && o.ndim() >= 2,
+                    "matmul needs >=2-d operands");
+  const int64_t m = shape()[ndim() - 2];
+  const int64_t k = shape()[ndim() - 1];
+  const int64_t k2 = o.shape()[o.ndim() - 2];
+  const int64_t n = o.shape()[o.ndim() - 1];
+  COASTAL_CHECK_MSG(k == k2, "matmul inner dims " << k << " vs " << k2);
+
+  const Shape batch = broadcast_shapes(batch_dims(shape()), batch_dims(o.shape()));
+  Shape out_shape = batch;
+  out_shape.push_back(m);
+  out_shape.push_back(n);
+
+  const int64_t nbatch = tensor::numel(batch);
+  std::vector<float> out(static_cast<size_t>(nbatch * m * n), 0.0f);
+
+  // Per-batch offsets honoring broadcast (stride 0 on broadcast axes).
+  const Shape abatch = batch_dims(shape());
+  const Shape bbatch = batch_dims(o.shape());
+  const Shape astr = broadcast_strides(abatch, batch);
+  const Shape bstr = broadcast_strides(bbatch, batch);
+  const float* A = raw();
+  const float* B = o.raw();
+
+  if (batch.empty()) {
+    gemm_acc(A, B, out.data(), m, k, n);
+  } else {
+    CoordIter it(batch);
+    int64_t bi = 0;
+    do {
+      const int64_t aoff = dot_strides(it.coords(), astr) * m * k;
+      const int64_t boff = dot_strides(it.coords(), bstr) * k * n;
+      gemm_acc(A + aoff, B + boff, out.data() + bi * m * n, m, k, n);
+      ++bi;
+    } while (it.next());
+  }
+
+  Tensor a = *this, b = o;
+  return make_result(out_shape, std::move(out), "matmul", {a, b},
+                     [a, b](const Tensor& g) -> std::vector<Tensor> {
+                       Tensor ga = g.matmul(b.transpose_last()).sum_to(a.shape());
+                       Tensor gb = a.transpose_last().matmul(g).sum_to(b.shape());
+                       return {ga, gb};
+                     });
+}
+
+Tensor Tensor::transpose_last() const {
+  COASTAL_CHECK(ndim() >= 2);
+  std::vector<size_t> perm(ndim());
+  for (size_t i = 0; i < ndim(); ++i) perm[i] = i;
+  std::swap(perm[ndim() - 2], perm[ndim() - 1]);
+  return permute(perm);
+}
+
+// ---------------------------------------------------------------------------
+// Shape ops
+// ---------------------------------------------------------------------------
+
+Tensor Tensor::reshape(const Shape& new_shape) const {
+  Shape resolved = new_shape;
+  int64_t known = 1;
+  int infer = -1;
+  for (size_t i = 0; i < resolved.size(); ++i) {
+    if (resolved[i] == -1) {
+      COASTAL_CHECK_MSG(infer < 0, "reshape: more than one -1");
+      infer = static_cast<int>(i);
+    } else {
+      known *= resolved[i];
+    }
+  }
+  if (infer >= 0) resolved[static_cast<size_t>(infer)] = numel() / known;
+  COASTAL_CHECK_MSG(tensor::numel(resolved) == numel(),
+                    "reshape " << shape_str(shape()) << " -> "
+                               << shape_str(resolved));
+  const Shape in = shape();
+  std::vector<float> out(impl_->data.begin(), impl_->data.end());
+  return make_result(resolved, std::move(out), "reshape", {*this},
+                     [in](const Tensor& g) -> std::vector<Tensor> {
+                       return {g.reshape(in)};
+                     });
+}
+
+Tensor Tensor::permute(const std::vector<size_t>& perm) const {
+  COASTAL_CHECK(perm.size() == ndim());
+  Shape out_shape(ndim());
+  for (size_t i = 0; i < ndim(); ++i) out_shape[i] = shape()[perm[i]];
+  const Shape in_str = strides_of(shape());
+  Shape gather_str(ndim());
+  for (size_t i = 0; i < ndim(); ++i) gather_str[i] = in_str[perm[i]];
+
+  std::vector<float> out(static_cast<size_t>(numel()));
+  CoordIter it(out_shape);
+  const float* p = raw();
+  size_t k = 0;
+  do {
+    out[k++] = p[dot_strides(it.coords(), gather_str)];
+  } while (it.next());
+
+  std::vector<size_t> inv(ndim());
+  for (size_t i = 0; i < ndim(); ++i) inv[perm[i]] = i;
+  return make_result(out_shape, std::move(out), "permute", {*this},
+                     [inv](const Tensor& g) -> std::vector<Tensor> {
+                       return {g.permute(inv)};
+                     });
+}
+
+Tensor Tensor::slice(int axis, int64_t start, int64_t len) const {
+  const int a = normalize_axis(axis, ndim());
+  const Shape in = shape();
+  COASTAL_CHECK_MSG(start >= 0 && start + len <= in[static_cast<size_t>(a)],
+                    "slice [" << start << "," << start + len << ") out of dim "
+                              << in[static_cast<size_t>(a)]);
+  Shape out_shape = in;
+  out_shape[static_cast<size_t>(a)] = len;
+  int64_t outer = 1, inner = 1;
+  for (int i = 0; i < a; ++i) outer *= in[static_cast<size_t>(i)];
+  for (size_t i = static_cast<size_t>(a) + 1; i < in.size(); ++i) inner *= in[i];
+  const int64_t dlen = in[static_cast<size_t>(a)];
+
+  std::vector<float> out(static_cast<size_t>(outer * len * inner));
+  const float* p = raw();
+  for (int64_t o = 0; o < outer; ++o)
+    std::memcpy(out.data() + o * len * inner,
+                p + (o * dlen + start) * inner,
+                static_cast<size_t>(len * inner) * sizeof(float));
+
+  const int64_t before = start;
+  const int64_t after = dlen - start - len;
+  return make_result(out_shape, std::move(out), "slice", {*this},
+                     [a, before, after](const Tensor& g) -> std::vector<Tensor> {
+                       return {g.pad_axis(a, before, after)};
+                     });
+}
+
+Tensor Tensor::pad_axis(int axis, int64_t before, int64_t after) const {
+  const int a = normalize_axis(axis, ndim());
+  const Shape in = shape();
+  Shape out_shape = in;
+  out_shape[static_cast<size_t>(a)] += before + after;
+  int64_t outer = 1, inner = 1;
+  for (int i = 0; i < a; ++i) outer *= in[static_cast<size_t>(i)];
+  for (size_t i = static_cast<size_t>(a) + 1; i < in.size(); ++i) inner *= in[i];
+  const int64_t dlen = in[static_cast<size_t>(a)];
+  const int64_t olen = out_shape[static_cast<size_t>(a)];
+
+  std::vector<float> out(static_cast<size_t>(outer * olen * inner), 0.0f);
+  const float* p = raw();
+  for (int64_t o = 0; o < outer; ++o)
+    std::memcpy(out.data() + (o * olen + before) * inner,
+                p + o * dlen * inner,
+                static_cast<size_t>(dlen * inner) * sizeof(float));
+
+  const int64_t start = before, len = dlen;
+  return make_result(out_shape, std::move(out), "pad_axis", {*this},
+                     [a, start, len](const Tensor& g) -> std::vector<Tensor> {
+                       return {g.slice(a, start, len)};
+                     });
+}
+
+Tensor Tensor::roll(int axis, int64_t shift) const {
+  const int a = normalize_axis(axis, ndim());
+  const Shape in = shape();
+  const int64_t dlen = in[static_cast<size_t>(a)];
+  int64_t s = ((shift % dlen) + dlen) % dlen;
+  int64_t outer = 1, inner = 1;
+  for (int i = 0; i < a; ++i) outer *= in[static_cast<size_t>(i)];
+  for (size_t i = static_cast<size_t>(a) + 1; i < in.size(); ++i) inner *= in[i];
+
+  std::vector<float> out(static_cast<size_t>(numel()));
+  const float* p = raw();
+  for (int64_t o = 0; o < outer; ++o)
+    for (int64_t l = 0; l < dlen; ++l) {
+      const int64_t dst = (l + s) % dlen;
+      std::memcpy(out.data() + (o * dlen + dst) * inner,
+                  p + (o * dlen + l) * inner,
+                  static_cast<size_t>(inner) * sizeof(float));
+    }
+
+  return make_result(in, std::move(out), "roll", {*this},
+                     [a, shift](const Tensor& g) -> std::vector<Tensor> {
+                       return {g.roll(a, -shift)};
+                     });
+}
+
+Tensor concat(const std::vector<Tensor>& parts, int axis) {
+  COASTAL_CHECK(!parts.empty());
+  const int a = normalize_axis(axis, parts[0].ndim());
+  Shape out_shape = parts[0].shape();
+  int64_t total = 0;
+  for (const auto& t : parts) {
+    COASTAL_CHECK(t.ndim() == parts[0].ndim());
+    for (size_t i = 0; i < out_shape.size(); ++i) {
+      if (static_cast<int>(i) != a)
+        COASTAL_CHECK_MSG(t.shape()[i] == out_shape[i],
+                          "concat shape mismatch on axis " << i);
+    }
+    total += t.shape()[static_cast<size_t>(a)];
+  }
+  out_shape[static_cast<size_t>(a)] = total;
+
+  int64_t outer = 1, inner = 1;
+  for (int i = 0; i < a; ++i) outer *= out_shape[static_cast<size_t>(i)];
+  for (size_t i = static_cast<size_t>(a) + 1; i < out_shape.size(); ++i)
+    inner *= out_shape[i];
+
+  std::vector<float> out(static_cast<size_t>(tensor::numel(out_shape)));
+  int64_t offset = 0;
+  for (const auto& t : parts) {
+    const int64_t dlen = t.shape()[static_cast<size_t>(a)];
+    const float* p = t.raw();
+    for (int64_t o = 0; o < outer; ++o)
+      std::memcpy(out.data() + (o * total + offset) * inner,
+                  p + o * dlen * inner,
+                  static_cast<size_t>(dlen * inner) * sizeof(float));
+    offset += dlen;
+  }
+
+  // Backward: slice the gradient back apart.
+  std::vector<int64_t> lens;
+  lens.reserve(parts.size());
+  for (const auto& t : parts) lens.push_back(t.shape()[static_cast<size_t>(a)]);
+  return make_result(out_shape, std::move(out), "concat", parts,
+                     [a, lens](const Tensor& g) -> std::vector<Tensor> {
+                       std::vector<Tensor> grads;
+                       grads.reserve(lens.size());
+                       int64_t off = 0;
+                       for (int64_t len : lens) {
+                         grads.push_back(g.slice(a, off, len));
+                         off += len;
+                       }
+                       return grads;
+                     });
+}
+
+// ---------------------------------------------------------------------------
+// Fused NN ops
+// ---------------------------------------------------------------------------
+
+Tensor Tensor::softmax_lastdim() const {
+  const int64_t cols = shape()[ndim() - 1];
+  const int64_t rows = numel() / cols;
+  std::vector<float> out(static_cast<size_t>(numel()));
+  const float* p = raw();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = p + r * cols;
+    float* orow = out.data() + r * cols;
+    float mx = row[0];
+    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, row[c]);
+    float denom = 0.0f;
+    for (int64_t c = 0; c < cols; ++c) {
+      orow[c] = std::exp(row[c] - mx);
+      denom += orow[c];
+    }
+    const float inv = 1.0f / denom;
+    for (int64_t c = 0; c < cols; ++c) orow[c] *= inv;
+  }
+
+  Tensor saved_out = Tensor::from_vector(shape(), out);  // copy for backward
+  return make_result(
+      shape(), std::move(out), "softmax", {*this},
+      [saved_out, rows, cols](const Tensor& g) -> std::vector<Tensor> {
+        std::vector<float> gx(static_cast<size_t>(g.numel()));
+        const float* pg = g.raw();
+        const float* po = saved_out.raw();
+        for (int64_t r = 0; r < rows; ++r) {
+          const float* grow = pg + r * cols;
+          const float* orow = po + r * cols;
+          float dot = 0.0f;
+          for (int64_t c = 0; c < cols; ++c) dot += grow[c] * orow[c];
+          float* gxr = gx.data() + r * cols;
+          for (int64_t c = 0; c < cols; ++c)
+            gxr[c] = orow[c] * (grow[c] - dot);
+        }
+        return {Tensor::from_vector(saved_out.shape(), std::move(gx))};
+      });
+}
+
+Tensor Tensor::layer_norm(const Tensor& gamma, const Tensor& beta,
+                          float eps) const {
+  const int64_t cols = shape()[ndim() - 1];
+  COASTAL_CHECK(gamma.numel() == cols && beta.numel() == cols);
+  const int64_t rows = numel() / cols;
+
+  std::vector<float> out(static_cast<size_t>(numel()));
+  auto xhat = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(numel()));
+  auto invstd = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(rows));
+  const float* p = raw();
+  const float* pg = gamma.raw();
+  const float* pb = beta.raw();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = p + r * cols;
+    double mu = 0.0;
+    for (int64_t c = 0; c < cols; ++c) mu += row[c];
+    mu /= static_cast<double>(cols);
+    double var = 0.0;
+    for (int64_t c = 0; c < cols; ++c) {
+      const double d = row[c] - mu;
+      var += d * d;
+    }
+    var /= static_cast<double>(cols);
+    const float is = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+    (*invstd)[static_cast<size_t>(r)] = is;
+    for (int64_t c = 0; c < cols; ++c) {
+      const float xh = (row[c] - static_cast<float>(mu)) * is;
+      (*xhat)[static_cast<size_t>(r * cols + c)] = xh;
+      out[static_cast<size_t>(r * cols + c)] = pg[c] * xh + pb[c];
+    }
+  }
+
+  Tensor x = *this, gm = gamma;
+  const Shape in_shape = shape();
+  const Shape gshape = gamma.shape();
+  return make_result(
+      shape(), std::move(out), "layer_norm", {x, gamma, beta},
+      [xhat, invstd, rows, cols, in_shape, gshape,
+       gm](const Tensor& g) -> std::vector<Tensor> {
+        std::vector<float> gx(static_cast<size_t>(rows * cols));
+        std::vector<float> ggamma(static_cast<size_t>(cols), 0.0f);
+        std::vector<float> gbeta(static_cast<size_t>(cols), 0.0f);
+        const float* pg = g.raw();
+        const float* pgamma = gm.raw();
+        for (int64_t r = 0; r < rows; ++r) {
+          const float* grow = pg + r * cols;
+          const float* xh = xhat->data() + r * cols;
+          const float is = (*invstd)[static_cast<size_t>(r)];
+          // dL/dxhat = g * gamma; then the standard LN backward.
+          double mean_dxhat = 0.0, mean_dxhat_xhat = 0.0;
+          for (int64_t c = 0; c < cols; ++c) {
+            const float dxh = grow[c] * pgamma[c];
+            mean_dxhat += dxh;
+            mean_dxhat_xhat += static_cast<double>(dxh) * xh[c];
+            ggamma[static_cast<size_t>(c)] += grow[c] * xh[c];
+            gbeta[static_cast<size_t>(c)] += grow[c];
+          }
+          mean_dxhat /= static_cast<double>(cols);
+          mean_dxhat_xhat /= static_cast<double>(cols);
+          float* gxr = gx.data() + r * cols;
+          for (int64_t c = 0; c < cols; ++c) {
+            const float dxh = grow[c] * pgamma[c];
+            gxr[c] = is * (dxh - static_cast<float>(mean_dxhat) -
+                           xh[c] * static_cast<float>(mean_dxhat_xhat));
+          }
+        }
+        return {Tensor::from_vector(in_shape, std::move(gx)),
+                Tensor::from_vector(gshape, std::move(ggamma)),
+                Tensor::from_vector(gshape, std::move(gbeta))};
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Losses
+// ---------------------------------------------------------------------------
+
+Tensor custom_op(Shape shape, std::vector<float> data, const char* name,
+                 std::vector<Tensor> parents,
+                 std::function<std::vector<Tensor>(const Tensor&)> backward) {
+  return make_result(std::move(shape), std::move(data), name,
+                     std::move(parents), std::move(backward));
+}
+
+Tensor mse_loss(const Tensor& pred, const Tensor& target) {
+  COASTAL_CHECK(pred.shape() == target.shape());
+  Tensor diff = pred.sub(target);
+  return diff.mul(diff).mean();
+}
+
+Tensor l1_loss(const Tensor& pred, const Tensor& target) {
+  COASTAL_CHECK(pred.shape() == target.shape());
+  return pred.sub(target).abs().mean();
+}
+
+}  // namespace coastal::tensor

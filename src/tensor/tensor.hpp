@@ -1,0 +1,228 @@
+#pragma once
+
+/// \file tensor.hpp
+/// Dense row-major float tensor with tape-based reverse-mode autograd.
+///
+/// This stands in for libtorch in the reproduction: it provides exactly the
+/// operator set the paper's 4-D Swin Transformer surrogate needs (broadcast
+/// elementwise ops, batched matmul, softmax, layer/batch norm building
+/// blocks, shape ops including roll for shifted windows) plus gradient
+/// checkpointing hooks.  Tensors are always contiguous; shape ops
+/// materialize.  Compute is FP32; FP16 is a storage format (see half.hpp),
+/// mirroring mixed-precision training where master math stays in higher
+/// precision.
+///
+/// Autograd model: a Tensor is a shared handle to a TensorImpl.  Ops on
+/// tensors that require grad record a Node holding the parents and a
+/// backward function; Tensor::backward() runs a reverse topological sweep
+/// accumulating gradients into leaf tensors' .grad().
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/shape.hpp"
+#include "util/rng.hpp"
+
+namespace coastal::tensor {
+
+class Tensor;
+struct TensorImpl;
+
+/// Autograd graph node: produced by one op application.
+struct Node {
+  std::string name;
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  /// Maps the gradient w.r.t. this node's output to gradients w.r.t. each
+  /// parent (same order; entries may be empty Tensors for non-diff inputs).
+  std::function<std::vector<Tensor>(const Tensor& grad_out)> backward;
+};
+
+/// Allocation accounting (Table II / memory benches read these).
+struct AllocStats {
+  uint64_t current_bytes;
+  uint64_t peak_bytes;
+  uint64_t total_allocs;
+};
+AllocStats alloc_stats();
+void reset_peak_bytes();
+
+struct TensorImpl {
+  Shape shape;
+  std::vector<float> data;
+  bool requires_grad = false;            ///< leaf flag
+  std::shared_ptr<Node> grad_fn;         ///< non-null for op outputs
+  std::shared_ptr<TensorImpl> grad;      ///< accumulated gradient (leaves)
+
+  TensorImpl(Shape s, std::vector<float> d);
+  ~TensorImpl();
+  TensorImpl(const TensorImpl&) = delete;
+  TensorImpl& operator=(const TensorImpl&) = delete;
+};
+
+/// Thread-local autograd mode; NoGradGuard disables graph recording in a
+/// scope (used for inference and inside backward functions).
+bool grad_enabled();
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+
+ private:
+  bool prev_;
+};
+
+/// Scoped override of the autograd mode in either direction; activation
+/// checkpointing re-enables recording inside a backward pass with this.
+class GradModeGuard {
+ public:
+  explicit GradModeGuard(bool enable);
+  ~GradModeGuard();
+
+ private:
+  bool prev_;
+};
+
+class Tensor {
+ public:
+  /// Empty (null) tensor; defined() is false.
+  Tensor() = default;
+  explicit Tensor(std::shared_ptr<TensorImpl> impl) : impl_(std::move(impl)) {}
+
+  bool defined() const { return impl_ != nullptr; }
+
+  // ---- creation -------------------------------------------------------
+  static Tensor zeros(const Shape& shape);
+  static Tensor ones(const Shape& shape);
+  static Tensor full(const Shape& shape, float value);
+  static Tensor from_vector(const Shape& shape, std::vector<float> values);
+  /// Gaussian init, N(0, stddev^2).
+  static Tensor randn(const Shape& shape, util::Rng& rng, float stddev = 1.0f);
+  static Tensor uniform(const Shape& shape, util::Rng& rng, float lo, float hi);
+  static Tensor arange(int64_t n);
+
+  // ---- metadata -------------------------------------------------------
+  const Shape& shape() const { return impl_->shape; }
+  int64_t dim(size_t i) const { return impl_->shape[i]; }
+  size_t ndim() const { return impl_->shape.size(); }
+  int64_t numel() const { return tensor::numel(impl_->shape); }
+
+  std::span<float> data() { return impl_->data; }
+  std::span<const float> data() const { return impl_->data; }
+  float* raw() { return impl_->data.data(); }
+  const float* raw() const { return impl_->data.data(); }
+
+  /// Value of a scalar (1-element) tensor.
+  float item() const;
+  /// Element access by full coordinates (slow; for tests and field I/O).
+  float at(const std::vector<int64_t>& coords) const;
+  void set(const std::vector<int64_t>& coords, float v);
+
+  // ---- autograd -------------------------------------------------------
+  /// Marks a leaf tensor as a trainable parameter.
+  Tensor& set_requires_grad(bool rg);
+  bool requires_grad() const { return impl_->requires_grad; }
+  bool has_grad_fn() const { return impl_->grad_fn != nullptr; }
+  std::shared_ptr<TensorImpl> impl() const { return impl_; }
+
+  /// Gradient accumulated by backward(); undefined Tensor if none.
+  Tensor grad() const;
+  void zero_grad();
+  /// Adds `g` into this tensor's grad buffer (creating it if absent).
+  void accumulate_grad(const Tensor& g);
+
+  /// Reverse-mode sweep from this (typically scalar loss) tensor.
+  /// `seed` defaults to ones(shape()).
+  void backward(const Tensor& seed = Tensor()) const;
+
+  /// Copy that shares no storage and is detached from the graph.
+  Tensor detach() const;
+  Tensor clone() const;
+
+  // ---- elementwise ----------------------------------------------------
+  Tensor add(const Tensor& o) const;
+  Tensor sub(const Tensor& o) const;
+  Tensor mul(const Tensor& o) const;
+  Tensor div(const Tensor& o) const;
+  Tensor neg() const;
+  Tensor add_scalar(float s) const;
+  Tensor mul_scalar(float s) const;
+  Tensor pow_scalar(float p) const;
+  Tensor exp() const;
+  Tensor log() const;
+  Tensor sqrt() const;
+  Tensor tanh() const;
+  Tensor sigmoid() const;
+  Tensor relu() const;
+  /// Exact GELU, 0.5 x (1 + erf(x / sqrt(2))) — the paper's decoder
+  /// activation.
+  Tensor gelu() const;
+  Tensor abs() const;
+
+  // ---- reductions -----------------------------------------------------
+  Tensor sum() const;
+  Tensor mean() const;
+  Tensor sum_axis(int axis, bool keepdim = false) const;
+  Tensor mean_axis(int axis, bool keepdim = false) const;
+  Tensor max_axis(int axis, bool keepdim = false) const;
+  /// Reduce-by-summation to a broadcast-compatible smaller shape (the
+  /// adjoint of broadcasting).  Non-differentiable helper.
+  Tensor sum_to(const Shape& target) const;
+
+  // ---- linear algebra -------------------------------------------------
+  /// Batched matmul: [..., m, k] x [..., k, n] -> [..., m, n]; leading
+  /// batch dims broadcast.
+  Tensor matmul(const Tensor& o) const;
+  /// Swap the last two axes (materializing).
+  Tensor transpose_last() const;
+
+  // ---- shape ops ------------------------------------------------------
+  Tensor reshape(const Shape& new_shape) const;
+  Tensor permute(const std::vector<size_t>& perm) const;
+  /// Slice along `axis`: elements [start, start + len).
+  Tensor slice(int axis, int64_t start, int64_t len) const;
+  /// Zero-pad along `axis`: `before` elements in front, `after` behind.
+  Tensor pad_axis(int axis, int64_t before, int64_t after) const;
+  /// Circular shift along `axis` (positive = toward higher indices); the
+  /// cyclic-shift primitive of SW-MSA.
+  Tensor roll(int axis, int64_t shift) const;
+
+  // ---- fused NN ops ---------------------------------------------------
+  /// Softmax over the last axis.
+  Tensor softmax_lastdim() const;
+  /// Layer normalization over the last axis with affine params
+  /// gamma/beta of shape [last_dim].
+  Tensor layer_norm(const Tensor& gamma, const Tensor& beta,
+                    float eps = 1e-5f) const;
+
+  // ---- operators ------------------------------------------------------
+  Tensor operator+(const Tensor& o) const { return add(o); }
+  Tensor operator-(const Tensor& o) const { return sub(o); }
+  Tensor operator*(const Tensor& o) const { return mul(o); }
+  Tensor operator/(const Tensor& o) const { return div(o); }
+  Tensor operator-() const { return neg(); }
+
+ private:
+  std::shared_ptr<TensorImpl> impl_;
+};
+
+/// Concatenate along `axis`.
+Tensor concat(const std::vector<Tensor>& parts, int axis);
+
+/// Build a tensor that participates in autograd with a caller-supplied
+/// backward function — the extension point used by activation
+/// checkpointing.  `backward` maps grad-wrt-output to grads-wrt-parents
+/// (same order as `parents`; undefined Tensors mark non-diff inputs).
+Tensor custom_op(Shape shape, std::vector<float> data, const char* name,
+                 std::vector<Tensor> parents,
+                 std::function<std::vector<Tensor>(const Tensor&)> backward);
+
+/// Mean squared error between prediction and target (scalar output).
+Tensor mse_loss(const Tensor& pred, const Tensor& target);
+/// Mean absolute (L1) error.
+Tensor l1_loss(const Tensor& pred, const Tensor& target);
+
+}  // namespace coastal::tensor

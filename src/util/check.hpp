@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file check.hpp
+/// Lightweight runtime checking macros used across the library.
+///
+/// `COASTAL_CHECK` is always on (it guards user-facing API contracts such
+/// as shape mismatches); `COASTAL_DCHECK` compiles out in release builds
+/// and guards internal invariants on hot paths.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace coastal::util {
+
+/// Exception thrown by COASTAL_CHECK failures.  Distinct from
+/// std::logic_error so tests can assert on precisely our contract checks.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void throw_check_error(const char* cond, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << cond << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace coastal::util
+
+#define COASTAL_CHECK(cond)                                                  \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::coastal::util::throw_check_error(#cond, __FILE__, __LINE__, "");     \
+  } while (0)
+
+#define COASTAL_CHECK_MSG(cond, msg)                                         \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::ostringstream os_;                                                \
+      os_ << msg;                                                            \
+      ::coastal::util::throw_check_error(#cond, __FILE__, __LINE__,          \
+                                         os_.str());                         \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define COASTAL_DCHECK(cond) ((void)0)
+#else
+#define COASTAL_DCHECK(cond) COASTAL_CHECK(cond)
+#endif

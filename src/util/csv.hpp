@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file csv.hpp
+/// Tiny CSV emitter for the benchmark harnesses: every reproduced table and
+/// figure is written both to stdout (human readable) and to a CSV file so
+/// plots can be regenerated.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace coastal::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& columns)
+      : out_(path), ncols_(columns.size()) {
+    COASTAL_CHECK_MSG(out_.good(), "cannot open CSV file " << path);
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (i) out_ << ",";
+      out_ << columns[i];
+    }
+    out_ << "\n";
+  }
+
+  /// Appends one row.  Values are formatted with operator<<.
+  template <typename... Ts>
+  void row(const Ts&... vals) {
+    COASTAL_CHECK_MSG(sizeof...(vals) == ncols_,
+                      "CSV row arity mismatch: got " << sizeof...(vals)
+                                                     << ", want " << ncols_);
+    std::ostringstream os;
+    size_t i = 0;
+    ((os << (i++ ? "," : "") << vals), ...);
+    out_ << os.str() << "\n";
+  }
+
+  void flush() { out_.flush(); }
+
+ private:
+  std::ofstream out_;
+  size_t ncols_;
+};
+
+}  // namespace coastal::util

@@ -1,0 +1,47 @@
+#include "util/logging.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+
+namespace coastal::util {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_mutex;
+
+const char* level_tag(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+void log_emit(LogLevel level, const std::string& body) {
+  if (static_cast<int>(level) < g_level.load()) return;
+  using clock = std::chrono::system_clock;
+  const auto now = clock::now().time_since_epoch();
+  const double secs =
+      std::chrono::duration_cast<std::chrono::duration<double>>(now).count();
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%.3f %s] %s\n", secs, level_tag(level), body.c_str());
+}
+
+namespace detail {
+
+LogLine::LogLine(LogLevel level, const char* file, int line) : level_(level) {
+  os_ << std::filesystem::path(file).filename().string() << ":" << line << " ";
+}
+
+LogLine::~LogLine() { log_emit(level_, os_.str()); }
+
+}  // namespace detail
+}  // namespace coastal::util

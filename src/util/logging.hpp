@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file logging.hpp
+/// Minimal leveled logger.  Thread-safe; writes to stderr.  The level is a
+/// process-wide atomic so benches can silence the library wholesale.
+
+#include <atomic>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace coastal::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log line (already formatted body).  Used by the LOG macro.
+void log_emit(LogLevel level, const std::string& body);
+
+namespace detail {
+
+/// Accumulates a single log statement and emits on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  ~LogLine();
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace coastal::util
+
+#define COASTAL_LOG(level)                                             \
+  if (static_cast<int>(level) <                                        \
+      static_cast<int>(::coastal::util::log_level())) {               \
+  } else                                                               \
+    ::coastal::util::detail::LogLine(level, __FILE__, __LINE__)
+
+#define LOG_DEBUG COASTAL_LOG(::coastal::util::LogLevel::kDebug)
+#define LOG_INFO COASTAL_LOG(::coastal::util::LogLevel::kInfo)
+#define LOG_WARN COASTAL_LOG(::coastal::util::LogLevel::kWarn)
+#define LOG_ERROR COASTAL_LOG(::coastal::util::LogLevel::kError)

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic, seedable random number generation.  We use xoshiro256**
+/// (public-domain algorithm by Blackman & Vigna) rather than std::mt19937
+/// for speed and for cheap independent streams: every model init, dataset
+/// shuffle, and bathymetry generator takes its own seeded Rng so results
+/// are reproducible regardless of evaluation order.
+
+#include <cmath>
+#include <cstdint>
+
+namespace coastal::util {
+
+/// splitmix64 — used to seed the main generator from a single word.
+inline uint64_t splitmix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed5eedULL) {
+    uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  uint64_t next_u64() {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  uint64_t uniform_index(uint64_t n) { return next_u64() % n; }
+
+  /// Standard normal via Box–Muller (no cached second value; simple and
+  /// branch-free enough for init-time use).
+  double normal() {
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Independent child stream (for per-worker RNGs).
+  Rng fork() { return Rng(next_u64() ^ 0xabcdef1234567890ULL); }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+}  // namespace coastal::util

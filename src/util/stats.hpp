@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file stats.hpp
+/// Error metrics and running statistics used by the evaluation harness
+/// (Table III / Table IV report MAE and RMSE per physical variable).
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <span>
+
+#include "util/check.hpp"
+
+namespace coastal::util {
+
+/// Streaming mean/variance via Welford's algorithm.  Used to compute the
+/// z-score normalization statistics over a year of training data without
+/// holding it in memory.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  void add(std::span<const float> xs) {
+    for (float x : xs) add(static_cast<double>(x));
+  }
+
+  /// Merge another accumulator (parallel reduction of per-chunk stats).
+  void merge(const RunningStats& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) { *this = o; return; }
+    const double na = static_cast<double>(n_), nb = static_cast<double>(o.n_);
+    const double delta = o.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += o.m2_ + delta * delta * na * nb / total;
+    n_ += o.n_;
+    if (o.min_ < min_) min_ = o.min_;
+    if (o.max_ > max_) max_ = o.max_;
+  }
+
+  size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Streaming |error| and error^2 accumulator; reports MAE and RMSE.
+class ErrorStats {
+ public:
+  void add(double predicted, double truth) {
+    const double e = predicted - truth;
+    sum_abs_ += std::abs(e);
+    sum_sq_ += e * e;
+    ++n_;
+  }
+
+  void add(std::span<const float> predicted, std::span<const float> truth) {
+    COASTAL_CHECK(predicted.size() == truth.size());
+    for (size_t i = 0; i < predicted.size(); ++i)
+      add(predicted[i], truth[i]);
+  }
+
+  void merge(const ErrorStats& o) {
+    sum_abs_ += o.sum_abs_;
+    sum_sq_ += o.sum_sq_;
+    n_ += o.n_;
+  }
+
+  size_t count() const { return n_; }
+  double mae() const { return n_ ? sum_abs_ / static_cast<double>(n_) : 0.0; }
+  double rmse() const {
+    return n_ ? std::sqrt(sum_sq_ / static_cast<double>(n_)) : 0.0;
+  }
+
+ private:
+  double sum_abs_ = 0.0;
+  double sum_sq_ = 0.0;
+  size_t n_ = 0;
+};
+
+}  // namespace coastal::util

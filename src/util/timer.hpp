@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file timer.hpp
+/// Wall-clock timing helpers used by the trainer throughput meter and the
+/// benchmark harnesses.
+
+#include <chrono>
+#include <cstdint>
+
+namespace coastal::util {
+
+/// Monotonic stopwatch.  Construction starts it.
+class Timer {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration_cast<std::chrono::duration<double>>(
+               clock::now() - start_)
+        .count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  clock::time_point start_;
+};
+
+/// Accumulates time across start/stop pairs — used to attribute time to
+/// pipeline stages (load / H2D / compute) inside the data loader.
+class AccumTimer {
+ public:
+  void start() { t_.reset(); running_ = true; }
+  void stop() {
+    if (running_) total_ += t_.seconds();
+    running_ = false;
+  }
+  double seconds() const { return total_; }
+  void reset() { total_ = 0.0; running_ = false; }
+
+ private:
+  Timer t_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace coastal::util

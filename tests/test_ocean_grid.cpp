@@ -1,0 +1,137 @@
+/// Tests for the grid, bathymetry generator, and tidal forcing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ocean/bathymetry.hpp"
+#include "ocean/grid.hpp"
+#include "ocean/tides.hpp"
+
+using namespace coastal::ocean;
+
+TEST(Grid, IndexingRoundTrips) {
+  Grid g(8, 6, 4, 100.0, 100.0);
+  EXPECT_EQ(g.rho_index(0, 0), 0u);
+  EXPECT_EQ(g.rho_index(7, 0), 7u);
+  EXPECT_EQ(g.rho_index(0, 1), 8u);
+  EXPECT_EQ(g.u_index(8, 0), 8u);      // nx+1 faces per row
+  EXPECT_EQ(g.u_index(0, 1), 9u);
+  EXPECT_EQ(g.v_index(0, 6), 48u);     // ny+1 rows of faces
+}
+
+TEST(Grid, SigmaLayersPartitionUnitColumn) {
+  Grid g(8, 6, 5, 100.0, 100.0);
+  double total = 0.0;
+  for (double d : g.sigma_thickness()) total += d;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Midpoints ascend and live in (-1, 0).
+  for (size_t k = 0; k < g.sigma().size(); ++k) {
+    EXPECT_GT(g.sigma()[k], -1.0);
+    EXPECT_LT(g.sigma()[k], 0.0);
+    if (k > 0) EXPECT_GT(g.sigma()[k], g.sigma()[k - 1]);
+  }
+}
+
+TEST(Grid, MaskControlsFaceOpenness) {
+  Grid g(6, 6, 2, 100.0, 100.0);
+  g.set_wet(2, 2, false);
+  EXPECT_FALSE(g.u_face_interior_open(2, 2));  // face west of the dry cell
+  EXPECT_FALSE(g.u_face_interior_open(3, 2));  // face east of it
+  EXPECT_TRUE(g.u_face_interior_open(2, 3));
+  EXPECT_FALSE(g.v_face_interior_open(2, 2));
+  EXPECT_FALSE(g.v_face_interior_open(2, 3));
+  // Domain edges are never "interior open".
+  EXPECT_FALSE(g.u_face_interior_open(0, 0));
+  EXPECT_FALSE(g.u_face_interior_open(6, 0));
+  EXPECT_FALSE(g.v_face_interior_open(0, 0));
+}
+
+TEST(Grid, NonUniformSpacingValidated) {
+  Grid g(4, 4, 2, 100.0, 100.0);
+  EXPECT_THROW(g.set_spacing({1, 2, 3}, {1, 2, 3, 4}),
+               coastal::util::CheckError);
+  EXPECT_THROW(g.set_spacing({1, 2, -3, 4}, {1, 2, 3, 4}),
+               coastal::util::CheckError);
+  g.set_spacing({100, 200, 300, 400}, {50, 50, 50, 50});
+  EXPECT_EQ(g.dx(2), 300.0);
+  EXPECT_EQ(g.area(1, 0), 200.0 * 50.0);
+}
+
+TEST(Bathymetry, GeneratesMixedLandAndWater) {
+  Grid g(48, 32, 4, 500.0, 500.0);
+  generate_estuary(g, EstuaryParams{}, 42);
+  const size_t wet = g.wet_count();
+  EXPECT_GT(wet, g.cells() / 4);       // a substantial water body
+  EXPECT_LT(wet, g.cells());           // but some land
+  // Western edge fully wet (open boundary).
+  for (int iy = 0; iy < g.ny(); ++iy) EXPECT_TRUE(g.wet(0, iy));
+  // Depths positive on water.
+  for (int iy = 0; iy < g.ny(); ++iy)
+    for (int ix = 0; ix < g.nx(); ++ix)
+      if (g.wet(ix, iy)) EXPECT_GT(g.h(ix, iy), 0.0f);
+}
+
+TEST(Bathymetry, DeterministicForSeed) {
+  Grid a(32, 24, 4, 500.0, 500.0), b(32, 24, 4, 500.0, 500.0);
+  generate_estuary(a, EstuaryParams{}, 7);
+  generate_estuary(b, EstuaryParams{}, 7);
+  EXPECT_EQ(a.h_field(), b.h_field());
+  EXPECT_EQ(a.mask(), b.mask());
+}
+
+TEST(Bathymetry, RefinedSpacingNearInlets) {
+  Grid g(48, 32, 4, 500.0, 500.0);
+  EstuaryParams p;
+  generate_estuary(g, p, 1);
+  double dmin = 1e18, dmax = 0;
+  for (int i = 0; i < g.nx(); ++i) {
+    dmin = std::min(dmin, g.dx(i));
+    dmax = std::max(dmax, g.dx(i));
+  }
+  EXPECT_LT(dmin, dmax);                     // non-uniform
+  EXPECT_NEAR(dmax, p.base_dx, 1e-6);        // coarsest = base
+  EXPECT_LT(dmin, p.base_dx / 1.5);          // refined band
+}
+
+TEST(Bathymetry, WaterIsConnectedAcrossInlets) {
+  // There must be at least one wet path column through the barrier,
+  // otherwise tides cannot reach the harbor.
+  Grid g(48, 32, 4, 500.0, 500.0);
+  generate_estuary(g, EstuaryParams{}, 9);
+  int wet_columns = 0;
+  for (int iy = 0; iy < g.ny(); ++iy) {
+    bool full_row = true;
+    for (int ix = 0; ix < g.nx() / 2; ++ix)
+      if (!g.wet(ix, iy)) full_row = false;
+    if (full_row) ++wet_columns;
+  }
+  EXPECT_GT(wet_columns, 0);
+}
+
+TEST(Tides, ConstituentSuperposition) {
+  TidalForcing tide({{"M2", 1.0, 12.0, 0.0}, {"K1", 0.5, 24.0, 0.0}});
+  EXPECT_NEAR(tide.elevation(0.0), 1.5, 1e-12);
+  // After half an M2 period the M2 term flips sign.
+  const double t = 6.0 * 3600.0;
+  EXPECT_NEAR(tide.elevation(t), -1.0 + 0.5 * std::cos(M_PI / 2), 1e-9);
+}
+
+TEST(Tides, PeriodicityOfSingleConstituent) {
+  TidalForcing tide({{"M2", 0.3, 12.4206, 1.1}});
+  const double T = 12.4206 * 3600.0;
+  for (double t0 : {0.0, 1234.5, 7.5 * 3600.0}) {
+    EXPECT_NEAR(tide.elevation(t0), tide.elevation(t0 + T), 1e-9);
+  }
+}
+
+TEST(Tides, DefaultSetIsMixed) {
+  auto tide = TidalForcing::gulf_coast_default();
+  bool has_semidiurnal = false, has_diurnal = false;
+  for (const auto& c : tide.constituents()) {
+    if (c.period_hours < 14) has_semidiurnal = true;
+    if (c.period_hours > 20) has_diurnal = true;
+  }
+  EXPECT_TRUE(has_semidiurnal);
+  EXPECT_TRUE(has_diurnal);
+}

@@ -1,0 +1,221 @@
+/// Unit tests for the message-passing substrate: thread pool,
+/// communicator (point-to-point + collectives), Cartesian decomposition,
+/// and halo exchange.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "parallel/communicator.hpp"
+#include "parallel/decomposition.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace par = coastal::par;
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  par::ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 20; ++i)
+    futs.push_back(pool.submit([&] { counter.fetch_add(1); }));
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  par::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(0, 100, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  par::ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Communicator, PointToPointDelivery) {
+  par::World world(3);
+  world.run([](par::Comm& comm) {
+    // Ring: send rank id to the right, receive from the left.
+    std::vector<float> payload{static_cast<float>(comm.rank())};
+    comm.send((comm.rank() + 1) % comm.size(), /*tag=*/7, payload);
+    std::vector<float> got(1);
+    comm.recv((comm.rank() + comm.size() - 1) % comm.size(), 7, got);
+    EXPECT_FLOAT_EQ(got[0],
+                    static_cast<float>((comm.rank() + comm.size() - 1) %
+                                       comm.size()));
+  });
+}
+
+TEST(Communicator, TagsKeepMessagesApart) {
+  par::World world(2);
+  world.run([](par::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, std::vector<float>{1.0f});
+      comm.send(1, 2, std::vector<float>{2.0f});
+    } else {
+      // Receive in the opposite order of sending: tags must disambiguate.
+      std::vector<float> a(1), b(1);
+      comm.recv(0, 2, a);
+      comm.recv(0, 1, b);
+      EXPECT_FLOAT_EQ(a[0], 2.0f);
+      EXPECT_FLOAT_EQ(b[0], 1.0f);
+    }
+  });
+}
+
+TEST(Communicator, MessagesWithSameTagStayOrdered) {
+  par::World world(2);
+  world.run([](par::Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 10; ++i)
+        comm.send(1, 3, std::vector<float>{static_cast<float>(i)});
+    } else {
+      std::vector<float> got(1);
+      for (int i = 0; i < 10; ++i) {
+        comm.recv(0, 3, got);
+        EXPECT_FLOAT_EQ(got[0], static_cast<float>(i));
+      }
+    }
+  });
+}
+
+TEST(Communicator, AllreduceSumsAcrossRanks) {
+  par::World world(4);
+  world.run([](par::Comm& comm) {
+    std::vector<float> x{static_cast<float>(comm.rank() + 1), 10.0f};
+    comm.allreduce_sum(x);
+    EXPECT_FLOAT_EQ(x[0], 1 + 2 + 3 + 4);
+    EXPECT_FLOAT_EQ(x[1], 40.0f);
+  });
+}
+
+TEST(Communicator, AllreduceMax) {
+  par::World world(3);
+  world.run([](par::Comm& comm) {
+    std::vector<float> x{static_cast<float>(-comm.rank()),
+                         static_cast<float>(comm.rank())};
+    comm.allreduce_max(x);
+    EXPECT_FLOAT_EQ(x[0], 0.0f);
+    EXPECT_FLOAT_EQ(x[1], 2.0f);
+  });
+}
+
+TEST(Communicator, RepeatedCollectivesStayConsistent) {
+  // Regression guard for the shared-buffer collective implementation:
+  // many back-to-back collectives must not bleed into each other.
+  par::World world(4);
+  world.run([](par::Comm& comm) {
+    for (int round = 0; round < 25; ++round) {
+      std::vector<float> x{static_cast<float>(comm.rank() + round)};
+      comm.allreduce_sum(x);
+      ASSERT_FLOAT_EQ(x[0], static_cast<float>(6 + 4 * round));
+    }
+  });
+}
+
+TEST(Communicator, BroadcastFromEveryRoot) {
+  par::World world(3);
+  world.run([](par::Comm& comm) {
+    for (int root = 0; root < comm.size(); ++root) {
+      std::vector<float> x{comm.rank() == root
+                               ? static_cast<float>(100 + root)
+                               : -1.0f};
+      comm.broadcast(root, x);
+      ASSERT_FLOAT_EQ(x[0], static_cast<float>(100 + root));
+    }
+  });
+}
+
+TEST(Communicator, GatherCollectsRankMajor) {
+  par::World world(3);
+  world.run([](par::Comm& comm) {
+    std::vector<float> local{static_cast<float>(comm.rank() * 2),
+                             static_cast<float>(comm.rank() * 2 + 1)};
+    std::vector<float> out;
+    comm.gather(0, local, out);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(out.size(), 6u);
+      for (int i = 0; i < 6; ++i) EXPECT_FLOAT_EQ(out[static_cast<size_t>(i)], i);
+    } else {
+      EXPECT_TRUE(out.empty());
+    }
+  });
+}
+
+TEST(Communicator, ExceptionsPropagateToCaller) {
+  par::World world(2);
+  EXPECT_THROW(world.run([](par::Comm& comm) {
+    if (comm.rank() == 1) throw std::runtime_error("rank 1 failed");
+    // rank 0 returns without collectives: a rank that throws never
+    // reaches a barrier, so surviving ranks must not wait on one.
+  }),
+               std::runtime_error);
+}
+
+TEST(Decomposition, ChooseGridPrefersSquareTiles) {
+  auto [px, py] = par::choose_grid(4, 100, 100);
+  EXPECT_EQ(px * py, 4);
+  EXPECT_EQ(px, 2);
+  EXPECT_EQ(py, 2);
+  // Elongated domain: more tiles along the long axis.
+  auto [qx, qy] = par::choose_grid(4, 400, 100);
+  EXPECT_EQ(qx * qy, 4);
+  EXPECT_GT(qx, qy);
+}
+
+TEST(Decomposition, TilesPartitionTheDomain) {
+  const int nx = 37, ny = 23, px = 3, py = 2;
+  std::vector<int> owner(static_cast<size_t>(nx) * ny, -1);
+  for (int r = 0; r < px * py; ++r) {
+    auto t = par::make_tile(r, px, py, nx, ny, 1);
+    EXPECT_EQ(t.cx + t.cy * px, r);
+    for (int y = t.y0; y < t.y1; ++y)
+      for (int x = t.x0; x < t.x1; ++x) {
+        auto& o = owner[static_cast<size_t>(y) * nx + x];
+        EXPECT_EQ(o, -1) << "cell owned twice";
+        o = r;
+      }
+  }
+  for (int v : owner) EXPECT_NE(v, -1);
+}
+
+TEST(Decomposition, NeighborsAtEdgesAreMinusOne) {
+  auto t = par::make_tile(0, 2, 2, 10, 10, 1);
+  EXPECT_EQ(t.neighbor(-1, 0), -1);
+  EXPECT_EQ(t.neighbor(0, -1), -1);
+  EXPECT_EQ(t.neighbor(1, 0), 1);
+  EXPECT_EQ(t.neighbor(0, 1), 2);
+}
+
+TEST(Decomposition, HaloExchangeFillsGhosts) {
+  // 2 ranks side by side in x; each fills its interior with its rank id
+  // and after exchange must see the neighbour's id in its ghost column.
+  par::World world(2);
+  world.run([](par::Comm& comm) {
+    auto tile = par::make_tile(comm.rank(), 2, 1, 8, 4, 1);
+    std::vector<float> field(
+        static_cast<size_t>(tile.nx_padded()) * tile.ny_padded(),
+        static_cast<float>(comm.rank()));
+    par::exchange_halo(comm, tile, field);
+    const int ghost_x = comm.rank() == 0 ? tile.nx_local() : -1;
+    const int other = 1 - comm.rank();
+    for (int iy = 0; iy < tile.ny_local(); ++iy)
+      EXPECT_FLOAT_EQ(field[tile.padded_index(ghost_x, iy)],
+                      static_cast<float>(other));
+    EXPECT_GT(comm.bytes_sent(), 0u);
+  });
+}
+
+TEST(Decomposition, RejectsInvalidConfigurations) {
+  EXPECT_THROW(par::make_tile(4, 2, 2, 10, 10, 1),
+               coastal::util::CheckError);
+  EXPECT_THROW(par::make_tile(0, 4, 1, 2, 10, 1),
+               coastal::util::CheckError);
+}

@@ -1,0 +1,140 @@
+/// Tests for 4-D window partitioning, cyclic shifts, and shifted-window
+/// attention masks.
+
+#include <gtest/gtest.h>
+
+#include "core/window4d.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace core = coastal::core;
+namespace ct = coastal::tensor;
+using coastal::core::FeatureDims;
+using coastal::core::Window4d;
+using coastal::tensor::Tensor;
+using coastal::testing::expect_tensor_near;
+
+TEST(Window4d, PartitionShape) {
+  coastal::util::Rng rng(1);
+  Tensor x = Tensor::randn({2, 3, 4, 4, 2, 2}, rng);
+  Tensor tokens = core::window_partition(x, {2, 2, 2, 2});
+  // nW = 2*2*1*1 = 4; N = 16.
+  EXPECT_EQ(tokens.shape(), (ct::Shape{2 * 4, 16, 3}));
+}
+
+TEST(Window4d, PartitionReverseRoundTrip) {
+  coastal::util::Rng rng(2);
+  Tensor x = Tensor::randn({1, 5, 4, 6, 2, 4}, rng);
+  const Window4d w{2, 3, 2, 2};
+  Tensor tokens = core::window_partition(x, w);
+  Tensor back = core::window_reverse(tokens, FeatureDims::of(x), w);
+  expect_tensor_near(back, x, 0.0);
+}
+
+TEST(Window4d, RejectsIndivisibleWindow) {
+  Tensor x = Tensor::zeros({1, 2, 5, 4, 2, 2});
+  EXPECT_THROW(core::window_partition(x, {2, 2, 2, 2}),
+               coastal::util::CheckError);
+}
+
+TEST(Window4d, WindowContentIsSpatiallyContiguous) {
+  // Build a tensor whose value encodes its (h, w, d, t) coordinate and
+  // check that one window holds exactly one contiguous block.
+  const int64_t H = 4, W = 4, D = 2, T = 2;
+  Tensor x = Tensor::zeros({1, 1, H, W, D, T});
+  for (int64_t h = 0; h < H; ++h)
+    for (int64_t w = 0; w < W; ++w)
+      for (int64_t d = 0; d < D; ++d)
+        for (int64_t t = 0; t < T; ++t)
+          x.set({0, 0, h, w, d, t},
+                static_cast<float>(((h * W + w) * D + d) * T + t));
+  Tensor tokens = core::window_partition(x, {2, 2, 2, 2});
+  // First window = h in [0,2), w in [0,2), all d, t.
+  // Its first token is (0,0,0,0) -> 0; last is (1,1,1,1).
+  EXPECT_EQ(tokens.at({0, 0, 0}), 0.0f);
+  EXPECT_EQ(tokens.at({0, 15, 0}),
+            static_cast<float>(((1 * W + 1) * D + 1) * T + 1));
+}
+
+TEST(Window4d, CyclicShiftRoundTrip) {
+  coastal::util::Rng rng(3);
+  Tensor x = Tensor::randn({1, 2, 4, 4, 2, 4}, rng);
+  const Window4d s{1, 2, 1, 1};
+  expect_tensor_near(core::cyclic_unshift(core::cyclic_shift(x, s), s), x,
+                     0.0);
+}
+
+TEST(Window4d, MaskZeroWhenNoShift) {
+  FeatureDims d{1, 8, 4, 4, 2, 2};
+  Tensor m = core::shifted_window_mask(d, {2, 2, 2, 2}, {0, 0, 0, 0});
+  for (float v : m.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Window4d, MaskShape) {
+  FeatureDims d{1, 8, 4, 4, 2, 2};
+  Tensor m = core::shifted_window_mask(d, {2, 2, 2, 2}, {1, 1, 0, 0});
+  // nW = (4/2) * (4/2) * (2/2) * (2/2) = 4; N = 16.
+  EXPECT_EQ(m.shape(), (ct::Shape{4, 16, 16}));
+}
+
+TEST(Window4d, MaskIsSymmetricAndZeroDiagonal) {
+  FeatureDims d{1, 8, 8, 4, 2, 4};
+  Tensor m = core::shifted_window_mask(d, {4, 4, 2, 2}, {2, 2, 1, 1});
+  const int64_t nW = m.shape()[0], N = m.shape()[1];
+  for (int64_t b = 0; b < nW; ++b)
+    for (int64_t i = 0; i < N; ++i) {
+      EXPECT_EQ(m.at({b, i, i}), 0.0f);
+      for (int64_t j = i + 1; j < N; ++j)
+        EXPECT_EQ(m.at({b, i, j}), m.at({b, j, i}));
+    }
+}
+
+TEST(Window4d, OnlyBoundaryWindowsAreMasked) {
+  // 1-D-like case: shift only along H.  Windows not touching the wrap
+  // boundary must be fully open.
+  FeatureDims d{1, 4, 8, 2, 2, 2};
+  Tensor m = core::shifted_window_mask(d, {2, 2, 2, 2}, {1, 0, 0, 0});
+  const int64_t N = m.shape()[1];
+  // Window layout: (wh, ww, wd, wt) row-major with wh slowest; windows
+  // with wh < 3 are interior along H.  Per wh group there are
+  // nw * nd * nt windows.
+  const int64_t windows_per_h = (2 / 2) * (2 / 2) * (2 / 2);
+  for (int64_t b = 0; b < 3 * windows_per_h; ++b)
+    for (int64_t i = 0; i < N; ++i)
+      for (int64_t j = 0; j < N; ++j)
+        ASSERT_EQ(m.at({b, i, j}), 0.0f) << "window " << b;
+  // The last row of windows (wrap boundary) must mask something.
+  double masked = 0;
+  for (int64_t b = 3 * windows_per_h; b < m.shape()[0]; ++b)
+    for (int64_t i = 0; i < N; ++i)
+      for (int64_t j = 0; j < N; ++j)
+        if (m.at({b, i, j}) < -1.0f) ++masked;
+  EXPECT_GT(masked, 0);
+}
+
+TEST(Window4d, ShiftedAttentionRespectsOriginalNeighborhoods) {
+  // End-to-end semantic check of the Swin trick in 1-D (H only):
+  // after shifting by s and masking, a token may only see tokens that were
+  // within the same shifted window in the *original* sequence.
+  const int64_t H = 8;
+  FeatureDims d{1, 1, H, 2, 2, 2};
+  const Window4d win{4, 2, 2, 2};
+  const Window4d shift{2, 0, 0, 0};
+  Tensor mask = core::shifted_window_mask(d, win, shift);
+
+  // Token h of the rolled grid corresponds to original position
+  // (h + shift) mod H.  Within the last window, original positions from
+  // the tail may not attend to wrapped-around head positions.
+  const int64_t N = win[0] * win[1] * win[2] * win[3];
+  const int64_t per_h = 2 * 2 * 2;  // tokens per h within a window
+  const int64_t last_win = mask.shape()[0] - 1;
+  // rolled h = 4..7 -> original 6, 7, 0, 1.
+  auto blocked = [&](int64_t hi, int64_t hj) {
+    return mask.at({last_win, hi * per_h, hj * per_h}) < -1.0f;
+  };
+  EXPECT_FALSE(blocked(0, 1));  // orig 6 <-> 7: neighbours
+  EXPECT_FALSE(blocked(2, 3));  // orig 0 <-> 1: neighbours
+  EXPECT_TRUE(blocked(0, 2));   // orig 6 <-> 0: wrapped, must be masked
+  EXPECT_TRUE(blocked(1, 3));   // orig 7 <-> 1: wrapped
+  (void)N;
+}
