@@ -126,6 +126,47 @@ inline MiniWorld make_mini_world(const std::string& name,
   return w;
 }
 
+/// Machine-readable benchmark records: one JSON object per measured
+/// (op, size) pair.  Seeds the perf trajectory — each PR can diff its
+/// BENCH_*.json against the previous one.
+class BenchJsonWriter {
+ public:
+  void add(const std::string& op, int64_t size, double ns_per_iter,
+           double items_per_second) {
+    records_.push_back({op, size, ns_per_iter, items_per_second});
+  }
+
+  bool empty() const { return records_.empty(); }
+
+  /// Writes a JSON array of {op, size, ns_per_iter, items_per_second}.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return false;
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::fprintf(f,
+                   "  {\"op\": \"%s\", \"size\": %lld, \"ns_per_iter\": %.1f, "
+                   "\"items_per_second\": %.3e}%s\n",
+                   r.op.c_str(), static_cast<long long>(r.size),
+                   r.ns_per_iter, r.items_per_second,
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  struct Record {
+    std::string op;
+    int64_t size;
+    double ns_per_iter;
+    double items_per_second;
+  };
+  std::vector<Record> records_;
+};
+
 inline void print_header(const char* what) {
   std::printf("\n=== %s ===\n", what);
   std::printf(

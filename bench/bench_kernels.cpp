@@ -6,16 +6,38 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "core/window4d.hpp"
 #include "nn/attention.hpp"
 #include "ocean/bathymetry.hpp"
 #include "ocean/solver.hpp"
 #include "parallel/decomposition.hpp"
 #include "tensor/half.hpp"
+#include "tensor/kernels.hpp"
 #include "tensor/tensor.hpp"
 
 using namespace coastal;
 using tensor::Tensor;
+
+namespace {
+
+/// The seed repo's scalar GEMM, kept verbatim (including the NaN-dropping
+/// `a == 0.0f` skip) as the speedup baseline for the blocked kernel.
+void seed_gemm_acc(const float* A, const float* B, float* C, int64_t m,
+                   int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = C + i * n;
+    const float* arow = A + i * k;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float a = arow[kk];
+      if (a == 0.0f) continue;
+      const float* brow = B + kk * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += a * brow[j];
+    }
+  }
+}
+
+}  // namespace
 
 static void BM_Matmul(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -28,7 +50,43 @@ static void BM_Matmul(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+static void BM_MatmulSeedScalar(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  util::Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  std::vector<float> c(static_cast<size_t>(n * n));
+  for (auto _ : state) {
+    std::fill(c.begin(), c.end(), 0.0f);
+    seed_gemm_acc(a.raw(), b.raw(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulSeedScalar)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+static void BM_TransposeLast(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  util::Rng rng(8);
+  Tensor x = Tensor::randn({8, n, n}, rng);
+  tensor::NoGradGuard ng;
+  for (auto _ : state) benchmark::DoNotOptimize(x.transpose_last().raw());
+  state.SetBytesProcessed(state.iterations() * 8 * n * n * sizeof(float));
+}
+BENCHMARK(BM_TransposeLast)->Arg(64)->Arg(256);
+
+static void BM_BroadcastAdd(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  util::Rng rng(9);
+  Tensor x = Tensor::randn({16, n, n}, rng);
+  Tensor bias = Tensor::randn({n}, rng);
+  tensor::NoGradGuard ng;
+  for (auto _ : state) benchmark::DoNotOptimize(x.add(bias).raw());
+  state.SetBytesProcessed(state.iterations() * 16 * n * n * sizeof(float));
+}
+BENCHMARK(BM_BroadcastAdd)->Arg(128);
 
 static void BM_SoftmaxLastDim(benchmark::State& state) {
   util::Rng rng(2);
@@ -118,4 +176,54 @@ static void BM_HalfConversion(benchmark::State& state) {
 }
 BENCHMARK(BM_HalfConversion);
 
-BENCHMARK_MAIN();
+namespace {
+
+/// Console output as usual, plus every run recorded into a
+/// BenchJsonWriter so the binary emits machine-readable results.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+#ifdef COASTAL_BENCHMARK_SKIPPED_API  // google-benchmark >= 1.8
+      if (run.skipped) continue;
+#else
+      if (run.error_occurred) continue;
+#endif
+      // One record per (op, size): skip aggregate rows (mean/median/...)
+      // and all but the first repetition, whose suffixed names would parse
+      // to duplicate keys.
+      if (run.run_type != Run::RT_Iteration || run.repetition_index > 0)
+        continue;
+      const std::string full = run.benchmark_name();
+      std::string op = full;
+      int64_t size = 0;
+      const size_t slash = full.find('/');
+      if (slash != std::string::npos) {
+        op = full.substr(0, slash);
+        size = std::strtoll(full.c_str() + slash + 1, nullptr, 10);
+      }
+      double items_per_s = 0.0;
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) items_per_s = it->second;
+      writer.add(op, size, run.GetAdjustedRealTime(), items_per_s);
+    }
+  }
+
+  bench::BenchJsonWriter writer;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  const std::string out = "BENCH_kernels.json";
+  if (!reporter.writer.empty() && reporter.writer.write(out)) {
+    std::printf("\nwrote %s\n", out.c_str());
+  }
+  return 0;
+}

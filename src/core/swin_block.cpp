@@ -27,13 +27,12 @@ Window4d SwinBlock4d::shift_for(const FeatureDims& d) const {
 
 const Tensor& SwinBlock4d::mask_for(const FeatureDims& d,
                                     const Window4d& shift) {
-  std::ostringstream key;
-  key << d.H << "," << d.W << "," << d.D << "," << d.T << ":" << shift[0]
-      << "," << shift[1] << "," << shift[2] << "," << shift[3];
-  auto it = mask_cache_.find(key.str());
+  const MaskKey key{d.H, d.W, d.D, d.T, shift[0], shift[1], shift[2],
+                    shift[3]};
+  auto it = mask_cache_.find(key);
   if (it == mask_cache_.end()) {
-    it = mask_cache_.emplace(key.str(),
-                             shifted_window_mask(d, window_, shift)).first;
+    it = mask_cache_.emplace(key, shifted_window_mask(d, window_, shift))
+             .first;
   }
   return it->second;
 }

@@ -6,8 +6,9 @@
 ///   z_hat = SW-MSA(LN(z)) + z;     z = MLP(LN(z_hat)) + z_hat
 /// operating on feature maps [B, C, H, W, D, T].
 
+#include <array>
+#include <map>
 #include <memory>
-#include <unordered_map>
 
 #include "core/window4d.hpp"
 #include "nn/attention.hpp"
@@ -42,8 +43,11 @@ class SwinBlock4d : public nn::Module {
   std::shared_ptr<nn::LayerNorm> norm1_, norm2_;
   std::shared_ptr<nn::MultiHeadSelfAttention> attn_;
   std::shared_ptr<nn::Mlp> mlp_;
-  /// Mask cache keyed by the feature shape (masks depend only on dims).
-  std::unordered_map<std::string, Tensor> mask_cache_;
+  /// Mask cache keyed by feature dims + shift (masks depend only on
+  /// those).  A packed value key avoids the per-forward string build this
+  /// hot path used to pay.
+  using MaskKey = std::array<int64_t, 8>;
+  std::map<MaskKey, Tensor> mask_cache_;
 };
 
 /// W-MSA block followed by SW-MSA block — "two successive 4D Swin

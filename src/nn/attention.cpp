@@ -2,7 +2,70 @@
 
 #include <cmath>
 
+#include "tensor/kernels.hpp"
+
 namespace coastal::nn {
+
+namespace ker = tensor::kernels;
+
+Tensor split_qkv_head(const Tensor& qkv, int64_t heads, int which) {
+  COASTAL_CHECK(qkv.ndim() == 3 && which >= 0 && which < 3);
+  const int64_t B = qkv.shape()[0];
+  const int64_t N = qkv.shape()[1];
+  const int64_t C = qkv.shape()[2] / 3;
+  COASTAL_CHECK(qkv.shape()[2] == 3 * C && C % heads == 0);
+  const int64_t hd = C / heads;
+
+  // out[b, h, n, d] = qkv[b, n, which*C + h*hd + d]: a strided gather.
+  std::vector<float> out(static_cast<size_t>(B * heads * N * hd));
+  ker::permute_gather(qkv.raw() + which * C, out.data(), {B, heads, N, hd},
+                      {N * 3 * C, hd, 3 * C, 1});
+
+  return tensor::custom_op(
+      {B, heads, N, hd}, std::move(out), "split_qkv_head", {qkv},
+      [B, N, C, heads, hd, which](const Tensor& g) -> std::vector<Tensor> {
+        // Scatter g back into a zero [B, N, 3C] buffer; each (b, n) row is
+        // written by exactly one task.
+        std::vector<float> gq(static_cast<size_t>(B * N * 3 * C), 0.0f);
+        const float* pg = g.raw();
+        float* pout = gq.data();
+        ker::parallel_for(B * N, C, [&](int64_t lo, int64_t hi) {
+          for (int64_t t = lo; t < hi; ++t) {
+            const int64_t b = t / N, n = t % N;
+            float* row = pout + t * 3 * C + which * C;
+            for (int64_t h = 0; h < heads; ++h) {
+              const float* src = pg + ((b * heads + h) * N + n) * hd;
+              for (int64_t d = 0; d < hd; ++d) row[h * hd + d] = src[d];
+            }
+          }
+        });
+        return {Tensor::from_vector({B, N, 3 * C}, std::move(gq))};
+      });
+}
+
+Tensor merge_heads(const Tensor& x) {
+  COASTAL_CHECK(x.ndim() == 4);
+  const int64_t B = x.shape()[0];
+  const int64_t heads = x.shape()[1];
+  const int64_t N = x.shape()[2];
+  const int64_t hd = x.shape()[3];
+  const int64_t C = heads * hd;
+
+  // out[b, n, h*hd + d] = x[b, h, n, d]
+  std::vector<float> out(static_cast<size_t>(B * N * C));
+  ker::permute_gather(x.raw(), out.data(), {B, N, heads, hd},
+                      {heads * N * hd, hd, N * hd, 1});
+
+  return tensor::custom_op(
+      {B, N, C}, std::move(out), "merge_heads", {x},
+      [B, N, C, heads, hd](const Tensor& g) -> std::vector<Tensor> {
+        // The inverse is also a pure gather: gx[b, h, n, d] = g[b, n, h*hd+d].
+        std::vector<float> gx(static_cast<size_t>(B * heads * N * hd));
+        ker::permute_gather(g.raw(), gx.data(), {B, heads, N, hd},
+                            {N * C, hd, C, 1});
+        return {Tensor::from_vector({B, heads, N, hd}, std::move(gx))};
+      });
+}
 
 MultiHeadSelfAttention::MultiHeadSelfAttention(int64_t dim, int64_t heads,
                                                util::Rng& rng)
@@ -20,13 +83,12 @@ Tensor MultiHeadSelfAttention::forward(const Tensor& x,
   const int64_t B = x.shape()[0];
   const int64_t N = x.shape()[1];
 
-  // [B, N, 3C] -> [B, N, 3, h, d] -> [3, B, h, N, d]
-  Tensor qkv = qkv_->forward(x)
-                   .reshape({B, N, 3, heads_, head_dim_})
-                   .permute({2, 0, 3, 1, 4});
-  Tensor q = qkv.slice(0, 0, 1).reshape({B, heads_, N, head_dim_});
-  Tensor k = qkv.slice(0, 1, 1).reshape({B, heads_, N, head_dim_});
-  Tensor v = qkv.slice(0, 2, 1).reshape({B, heads_, N, head_dim_});
+  // Head slices come straight out of the packed [B, N, 3C] projection —
+  // no [3, B, h, N, d] permute or reshape copies.
+  Tensor qkv = qkv_->forward(x);
+  Tensor q = split_qkv_head(qkv, heads_, 0);
+  Tensor k = split_qkv_head(qkv, heads_, 1);
+  Tensor v = split_qkv_head(qkv, heads_, 2);
 
   Tensor scores =
       q.matmul(k.transpose_last()).mul_scalar(scale_);  // [B, h, N, N]
@@ -46,7 +108,7 @@ Tensor MultiHeadSelfAttention::forward(const Tensor& x,
 
   Tensor attn = scores.softmax_lastdim();
   Tensor out = attn.matmul(v);                     // [B, h, N, d]
-  out = out.permute({0, 2, 1, 3}).reshape({B, N, dim_});
+  out = merge_heads(out);                          // [B, N, C]
   return proj_->forward(out);
 }
 

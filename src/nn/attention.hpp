@@ -12,6 +12,19 @@
 
 namespace coastal::nn {
 
+using tensor::Tensor;
+
+/// Fast path for unpacking a fused QKV projection: slices head group
+/// `which` (0 = Q, 1 = K, 2 = V) out of [B, N, 3C] directly into
+/// [B, heads, N, C/heads], skipping the [3, B, h, N, d] permute and the
+/// reshape copy the naive path materializes.  Differentiable.
+Tensor split_qkv_head(const Tensor& qkv, int64_t heads, int which);
+
+/// Inverse of head splitting for the attention output:
+/// [B, heads, N, d] -> [B, N, heads*d], fusing permute + reshape into one
+/// gather (and its backward into one gather too).  Differentiable.
+Tensor merge_heads(const Tensor& x);
+
 class MultiHeadSelfAttention : public Module {
  public:
   /// `dim` must be divisible by `heads`.

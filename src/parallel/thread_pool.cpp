@@ -1,8 +1,21 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <exception>
 
 namespace coastal::par {
+
+namespace {
+thread_local bool t_in_worker = false;
+}  // namespace
+
+int env_thread_override() {
+  const char* e = std::getenv("COASTAL_NUM_THREADS");
+  if (!e || !*e) return 0;
+  const long v = std::strtol(e, nullptr, 10);
+  return v > 0 ? static_cast<int>(v) : 0;
+}
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -35,11 +48,19 @@ std::future<void> ThreadPool::submit(std::function<void()> fn) {
 }
 
 void ThreadPool::parallel_for(size_t begin, size_t end,
-                              const std::function<void(size_t, size_t)>& fn) {
+                              const std::function<void(size_t, size_t)>& fn,
+                              size_t nchunks) {
   if (begin >= end) return;
   const size_t n = end - begin;
-  const size_t nchunks = std::min(n, size());
-  if (nchunks <= 1) {
+  if (in_worker()) {
+    // A worker waiting on its own pool's queue can deadlock (all workers
+    // blocked on chunks nobody is left to run); degrade to inline.
+    fn(begin, end);
+    return;
+  }
+  if (nchunks == 0) nchunks = 4 * size();
+  nchunks = std::min(n, nchunks);
+  if (nchunks <= 1 || size() == 0) {
     fn(begin, end);
     return;
   }
@@ -52,10 +73,21 @@ void ThreadPool::parallel_for(size_t begin, size_t end,
     if (lo >= hi) break;
     futs.push_back(submit([&fn, lo, hi] { fn(lo, hi); }));
   }
-  for (auto& f : futs) f.get();
+  // Drain every future even if one throws; otherwise chunks still
+  // referencing `fn` (and the caller's captures) would outlive this frame.
+  std::exception_ptr first_error;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void ThreadPool::worker_loop() {
+  t_in_worker = true;
   for (;;) {
     std::packaged_task<void()> task;
     {
@@ -69,8 +101,11 @@ void ThreadPool::worker_loop() {
   }
 }
 
+bool ThreadPool::in_worker() { return t_in_worker; }
+
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  // 0 (no override) → hardware concurrency, per the constructor contract.
+  static ThreadPool pool(static_cast<size_t>(env_thread_override()));
   return pool;
 }
 

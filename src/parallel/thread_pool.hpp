@@ -18,6 +18,11 @@
 
 namespace coastal::par {
 
+/// Thread-count override from the `COASTAL_NUM_THREADS` env var; 0 when
+/// unset or unparsable.  Shared by ThreadPool::global() sizing and the
+/// tensor kernels' chunking decisions so the two never drift.
+int env_thread_override();
+
 class ThreadPool {
  public:
   /// `num_threads == 0` selects hardware_concurrency (min 1).
@@ -32,12 +37,25 @@ class ThreadPool {
   /// Enqueue a task; returns a future for its completion.
   std::future<void> submit(std::function<void()> fn);
 
-  /// Run fn(begin..end) split into `size()` contiguous chunks and wait.
-  /// fn receives (chunk_begin, chunk_end).
+  /// Run fn(begin..end) split into contiguous chunks and wait.  fn
+  /// receives (chunk_begin, chunk_end).
+  ///
+  /// `nchunks == 0` picks ~4× the worker count — oversubscription smooths
+  /// load imbalance on ragged iterations.  Exception-safe: if a chunk
+  /// throws, the remaining futures are still drained (no leaked work, no
+  /// deadlocked callers) and the first exception is rethrown.  When called
+  /// from inside a pool worker the range runs inline — blocking a worker
+  /// on its own pool could deadlock.
   void parallel_for(size_t begin, size_t end,
-                    const std::function<void(size_t, size_t)>& fn);
+                    const std::function<void(size_t, size_t)>& fn,
+                    size_t nchunks = 0);
 
-  /// Process-wide shared pool (lazily constructed).
+  /// True while the calling thread is one of *any* ThreadPool's workers.
+  /// Compute kernels use this to refuse nested parallelism.
+  static bool in_worker();
+
+  /// Process-wide shared pool (lazily constructed).  Sized by the
+  /// `COASTAL_NUM_THREADS` env var when set, else hardware concurrency.
   static ThreadPool& global();
 
  private:

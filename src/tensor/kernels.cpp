@@ -1,0 +1,512 @@
+#include "tensor/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <thread>
+
+#include "parallel/thread_pool.hpp"
+
+namespace coastal::tensor::kernels {
+
+namespace {
+
+int64_t ceil_div(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+KernelConfig& config() {
+  static KernelConfig cfg = [] {
+    KernelConfig c;
+    c.num_threads = par::env_thread_override();
+    return c;
+  }();
+  return cfg;
+}
+
+int resolved_threads() {
+  const int n = config().num_threads;
+  if (n > 0) return n;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void parallel_for(int64_t total, int64_t cost_per_item,
+                  const std::function<void(int64_t, int64_t)>& fn) {
+  if (total <= 0) return;
+  const KernelConfig& cfg = config();
+  const int threads = resolved_threads();
+  // Serial when: single thread, nested inside a pool worker (waiting there
+  // would starve the pool), or not enough work to amortize dispatch.
+  if (threads <= 1 || par::ThreadPool::in_worker()) {
+    fn(0, total);
+    return;
+  }
+  const int64_t grain = std::max<int64_t>(1, cfg.parallel_grain);
+  const int64_t by_grain =
+      std::max<int64_t>(1, total * std::max<int64_t>(1, cost_per_item) / grain);
+  const int64_t nchunks = std::min<int64_t>(
+      {total, static_cast<int64_t>(cfg.oversubscribe) * threads, by_grain});
+  if (nchunks <= 1) {
+    fn(0, total);
+    return;
+  }
+  par::ThreadPool::global().parallel_for(
+      0, static_cast<size_t>(total),
+      [&fn](size_t lo, size_t hi) {
+        fn(static_cast<int64_t>(lo), static_cast<int64_t>(hi));
+      },
+      static_cast<size_t>(nchunks));
+}
+
+// ---------------------------------------------------------------------------
+// GEMM
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Register micro-tile.  Sized so the MR×NR accumulator block fits the
+// architecture's vector register file (GCC/Clang fully unroll the fixed
+// loops below and keep `acc` in registers).
+#if defined(__AVX512F__)
+constexpr int64_t kMR = 8, kNR = 32;
+#elif defined(__AVX2__) || defined(__AVX__)
+constexpr int64_t kMR = 6, kNR = 16;
+#else
+constexpr int64_t kMR = 4, kNR = 8;
+#endif
+
+/// Naive ikj kernel for problems too small to pack.  Unlike the historic
+/// version this has no `a == 0.0f` skip: NaN/Inf in B always propagates.
+void gemm_naive(const float* A, const float* B, float* C, int64_t m,
+                int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = C + i * n;
+    const float* arow = A + i * k;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float a = arow[kk];
+      const float* brow = B + kk * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += a * brow[j];
+    }
+  }
+}
+
+/// Pack an mb×kc block of A (leading dimension lda) into MR-row panels:
+/// layout [panel][p][MR], zero-padded so the micro-kernel never branches.
+void pack_a(const float* A, int64_t lda, int64_t mb, int64_t kc, float* out) {
+  for (int64_t ir = 0; ir < mb; ir += kMR) {
+    const int64_t m_eff = std::min(kMR, mb - ir);
+    for (int64_t p = 0; p < kc; ++p) {
+      int64_t i = 0;
+      for (; i < m_eff; ++i) *out++ = A[(ir + i) * lda + p];
+      for (; i < kMR; ++i) *out++ = 0.0f;
+    }
+  }
+}
+
+/// Pack a kc×nb block of B (leading dimension ldb) into NR-column panels:
+/// layout [panel][p][NR], zero-padded.
+void pack_b(const float* B, int64_t ldb, int64_t kc, int64_t nb, float* out) {
+  for (int64_t jr = 0; jr < nb; jr += kNR) {
+    const int64_t n_eff = std::min(kNR, nb - jr);
+    for (int64_t p = 0; p < kc; ++p) {
+      const float* row = B + p * ldb + jr;
+      int64_t j = 0;
+      for (; j < n_eff; ++j) *out++ = row[j];
+      for (; j < kNR; ++j) *out++ = 0.0f;
+    }
+  }
+}
+
+/// C[0:mr, 0:nr] += Apanel · Bpanel over kc.  The accumulation order for a
+/// given output element is p ascending — identical regardless of how the
+/// surrounding macro loops are scheduled across threads.
+void micro_kernel(int64_t kc, const float* __restrict Ap,
+                  const float* __restrict Bp, float* __restrict C,
+                  int64_t ldc, int64_t mr, int64_t nr) {
+  float acc[kMR][kNR] = {};
+  for (int64_t p = 0; p < kc; ++p, Ap += kMR, Bp += kNR) {
+    for (int64_t i = 0; i < kMR; ++i) {
+      const float a = Ap[i];
+      for (int64_t j = 0; j < kNR; ++j) acc[i][j] += a * Bp[j];
+    }
+  }
+  if (mr == kMR && nr == kNR) {
+    for (int64_t i = 0; i < kMR; ++i) {
+      float* crow = C + i * ldc;
+      for (int64_t j = 0; j < kNR; ++j) crow[j] += acc[i][j];
+    }
+  } else {
+    for (int64_t i = 0; i < mr; ++i) {
+      float* crow = C + i * ldc;
+      for (int64_t j = 0; j < nr; ++j) crow[j] += acc[i][j];
+    }
+  }
+}
+
+/// Per-thread packing scratch; pool workers are long-lived so these
+/// allocations amortize to zero.
+thread_local std::vector<float> t_apack;
+thread_local std::vector<float> t_bpack;
+
+/// Blocked GEMM over one row block: C[0:mb, :] += A[0:mb, :] · B.
+/// Loop order pc → jc keeps accumulation over k strictly ascending per
+/// output element (kc panels are added in order), so splitting m across
+/// tasks never perturbs results.
+void gemm_rowblock(const float* A, const float* B, float* C, int64_t mb,
+                   int64_t k, int64_t n, const KernelConfig& cfg) {
+  const int64_t kc_max = std::max<int64_t>(kMR, cfg.gemm_kc);
+  const int64_t nc_max =
+      std::max<int64_t>(kNR, (cfg.gemm_nc / kNR) * kNR);
+  t_apack.resize(static_cast<size_t>(ceil_div(mb, kMR) * kMR * kc_max));
+  t_bpack.resize(static_cast<size_t>(ceil_div(nc_max, kNR) * kNR * kc_max));
+  for (int64_t pc = 0; pc < k; pc += kc_max) {
+    const int64_t kc = std::min(kc_max, k - pc);
+    pack_a(A + pc, k, mb, kc, t_apack.data());
+    for (int64_t jc = 0; jc < n; jc += nc_max) {
+      const int64_t nc = std::min(nc_max, n - jc);
+      pack_b(B + pc * n + jc, n, kc, nc, t_bpack.data());
+      for (int64_t jr = 0; jr < nc; jr += kNR) {
+        const float* bp = t_bpack.data() + (jr / kNR) * kc * kNR;
+        for (int64_t ir = 0; ir < mb; ir += kMR) {
+          const float* ap = t_apack.data() + (ir / kMR) * kc * kMR;
+          micro_kernel(kc, ap, bp, C + ir * n + jc + jr, n,
+                       std::min(kMR, mb - ir), std::min(kNR, nc - jr));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(const float* A, const float* B, float* C, int64_t m, int64_t k,
+          int64_t n) {
+  gemm_batched(A, B, C, m, k, n, 1, {0}, {0});
+}
+
+void gemm_batched(const float* A, const float* B, float* C, int64_t m,
+                  int64_t k, int64_t n, int64_t nbatch,
+                  const std::vector<int64_t>& a_off,
+                  const std::vector<int64_t>& b_off) {
+  if (m <= 0 || n <= 0 || nbatch <= 0) return;
+  const KernelConfig& cfg = config();
+  // Path choice depends only on problem size and config — never on thread
+  // count — so serial and parallel runs agree bitwise.
+  if (k <= 0) return;  // C += A·B with empty inner dim is a no-op
+  if (m * k * n <= cfg.gemm_small_madds) {
+    parallel_for(nbatch, m * k * n, [&](int64_t lo, int64_t hi) {
+      for (int64_t b = lo; b < hi; ++b) {
+        gemm_naive(A + a_off[static_cast<size_t>(b)],
+                   B + b_off[static_cast<size_t>(b)], C + b * m * n, m, k, n);
+      }
+    });
+    return;
+  }
+  const int64_t mc = std::max<int64_t>(kMR, cfg.gemm_mc);
+  const int64_t nblocks = ceil_div(m, mc);
+  parallel_for(nbatch * nblocks, mc * k * n, [&](int64_t lo, int64_t hi) {
+    for (int64_t t = lo; t < hi; ++t) {
+      const int64_t b = t / nblocks;
+      const int64_t i0 = (t % nblocks) * mc;
+      const int64_t mb = std::min(mc, m - i0);
+      gemm_rowblock(A + a_off[static_cast<size_t>(b)] + i0 * k,
+                    B + b_off[static_cast<size_t>(b)], C + b * m * n + i0 * n,
+                    mb, k, n, cfg);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Softmax / layer norm
+// ---------------------------------------------------------------------------
+
+void softmax_rows(const float* x, float* y, int64_t rows, int64_t cols) {
+  parallel_for(rows, cols * 8, [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const float* row = x + r * cols;
+      float* orow = y + r * cols;
+      float mx = row[0];
+      for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, row[c]);
+      float denom = 0.0f;
+      for (int64_t c = 0; c < cols; ++c) {
+        orow[c] = std::exp(row[c] - mx);
+        denom += orow[c];
+      }
+      const float inv = 1.0f / denom;
+      for (int64_t c = 0; c < cols; ++c) orow[c] *= inv;
+    }
+  });
+}
+
+void softmax_backward_rows(const float* g, const float* y, float* gx,
+                           int64_t rows, int64_t cols) {
+  parallel_for(rows, cols * 4, [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const float* grow = g + r * cols;
+      const float* orow = y + r * cols;
+      float dot = 0.0f;
+      for (int64_t c = 0; c < cols; ++c) dot += grow[c] * orow[c];
+      float* gxr = gx + r * cols;
+      for (int64_t c = 0; c < cols; ++c) gxr[c] = orow[c] * (grow[c] - dot);
+    }
+  });
+}
+
+void layer_norm_rows(const float* x, const float* gamma, const float* beta,
+                     float* y, float* xhat, float* invstd, int64_t rows,
+                     int64_t cols, float eps) {
+  const double inv_n = 1.0 / static_cast<double>(cols);
+  parallel_for(rows, cols * 4, [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const float* row = x + r * cols;
+      // Single pass: sum and sum-of-squares in double, then
+      // var = E[x^2] - E[x]^2 (clamped against cancellation).
+      double s = 0.0, sq = 0.0;
+      for (int64_t c = 0; c < cols; ++c) {
+        const double v = row[c];
+        s += v;
+        sq += v * v;
+      }
+      const double mu = s * inv_n;
+      const double var = std::max(0.0, sq * inv_n - mu * mu);
+      const float is = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+      invstd[r] = is;
+      const float muf = static_cast<float>(mu);
+      float* xh = xhat + r * cols;
+      float* orow = y + r * cols;
+      for (int64_t c = 0; c < cols; ++c) {
+        const float h = (row[c] - muf) * is;
+        xh[c] = h;
+        orow[c] = gamma[c] * h + beta[c];
+      }
+    }
+  });
+}
+
+void layer_norm_backward_rows(const float* g, const float* gamma,
+                              const float* xhat, const float* invstd,
+                              float* gx, float* ggamma, float* gbeta,
+                              int64_t rows, int64_t cols) {
+  // gx is row-parallel; the gamma/beta column reductions must stay in a
+  // fixed row order for determinism, so they run serially afterwards.
+  parallel_for(rows, cols * 6, [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const float* grow = g + r * cols;
+      const float* xh = xhat + r * cols;
+      const float is = invstd[r];
+      double mean_dxhat = 0.0, mean_dxhat_xhat = 0.0;
+      for (int64_t c = 0; c < cols; ++c) {
+        const float dxh = grow[c] * gamma[c];
+        mean_dxhat += dxh;
+        mean_dxhat_xhat += static_cast<double>(dxh) * xh[c];
+      }
+      mean_dxhat /= static_cast<double>(cols);
+      mean_dxhat_xhat /= static_cast<double>(cols);
+      float* gxr = gx + r * cols;
+      for (int64_t c = 0; c < cols; ++c) {
+        const float dxh = grow[c] * gamma[c];
+        gxr[c] = is * (dxh - static_cast<float>(mean_dxhat) -
+                       xh[c] * static_cast<float>(mean_dxhat_xhat));
+      }
+    }
+  });
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* grow = g + r * cols;
+    const float* xh = xhat + r * cols;
+    for (int64_t c = 0; c < cols; ++c) {
+      ggamma[c] += grow[c] * xh[c];
+      gbeta[c] += grow[c];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Data movement
+// ---------------------------------------------------------------------------
+
+void transpose_last2(const float* src, float* dst, int64_t nbatch,
+                     int64_t rows, int64_t cols) {
+  constexpr int64_t kTile = 32;
+  const int64_t rtiles = ceil_div(rows, kTile);
+  parallel_for(nbatch * rtiles, kTile * cols, [&](int64_t lo, int64_t hi) {
+    for (int64_t t = lo; t < hi; ++t) {
+      const int64_t b = t / rtiles;
+      const int64_t i0 = (t % rtiles) * kTile;
+      const int64_t i1 = std::min(rows, i0 + kTile);
+      const float* s = src + b * rows * cols;
+      float* d = dst + b * rows * cols;
+      for (int64_t j0 = 0; j0 < cols; j0 += kTile) {
+        const int64_t j1 = std::min(cols, j0 + kTile);
+        for (int64_t i = i0; i < i1; ++i)
+          for (int64_t j = j0; j < j1; ++j) d[j * rows + i] = s[i * cols + j];
+      }
+    }
+  });
+}
+
+namespace {
+
+/// Incremental odometer over `shape` tracking a strided offset; O(1)
+/// amortized per step with no per-element stride dot product.
+struct StridedCursor {
+  const Shape& shape;
+  const Shape& strides;
+  std::vector<int64_t> coords;
+  int64_t offset = 0;
+
+  StridedCursor(const Shape& s, const Shape& st, int64_t linear)
+      : shape(s), strides(st), coords(s.size(), 0) {
+    for (size_t i = s.size(); i-- > 0;) {
+      if (linear == 0) break;
+      coords[i] = linear % s[i];
+      linear /= s[i];
+      offset += coords[i] * st[i];
+    }
+  }
+
+  /// Advance by one position over the axes [0, naxes) — callers that
+  /// handle the last axis with an inner loop pass naxes = ndim-1.
+  void next(size_t naxes) {
+    for (size_t i = naxes; i-- > 0;) {
+      offset += strides[i];
+      if (++coords[i] < shape[i]) return;
+      offset -= strides[i] * shape[i];
+      coords[i] = 0;
+    }
+  }
+};
+
+}  // namespace
+
+void permute_gather(const float* src, float* dst, const Shape& out_shape,
+                    const Shape& gather_strides) {
+  const int64_t total = tensor::numel(out_shape);
+  if (total == 0) return;
+  if (out_shape.empty()) {
+    dst[0] = src[0];
+    return;
+  }
+  const size_t nd = out_shape.size();
+  const int64_t inner = out_shape[nd - 1];
+  const int64_t s_last = gather_strides[nd - 1];
+  const int64_t outer = total / std::max<int64_t>(1, inner);
+  parallel_for(outer, inner, [&](int64_t lo, int64_t hi) {
+    StridedCursor cur(out_shape, gather_strides, lo * inner);
+    float* out = dst + lo * inner;
+    for (int64_t o = lo; o < hi; ++o) {
+      const float* base = src + cur.offset;
+      if (s_last == 1) {
+        std::memcpy(out, base, static_cast<size_t>(inner) * sizeof(float));
+      } else {
+        for (int64_t c = 0; c < inner; ++c) out[c] = base[c * s_last];
+      }
+      out += inner;
+      cur.next(nd - 1);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <typename Fn>
+void binary_same_apply(const float* a, const float* b, float* out, int64_t n,
+                       Fn fn) {
+  parallel_for(n, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) out[i] = fn(a[i], b[i]);
+  });
+}
+
+template <typename Fn>
+void binary_broadcast_apply(const float* a, const float* b, float* out,
+                            const Shape& out_shape, const Shape& sa,
+                            const Shape& sb, Fn fn) {
+  const int64_t total = tensor::numel(out_shape);
+  if (total == 0) return;
+  const size_t nd = out_shape.size();
+  const int64_t inner = nd ? out_shape[nd - 1] : 1;
+  const int64_t sa_last = nd ? sa[nd - 1] : 0;
+  const int64_t sb_last = nd ? sb[nd - 1] : 0;
+  const int64_t outer = total / std::max<int64_t>(1, inner);
+  parallel_for(outer, inner, [&](int64_t lo, int64_t hi) {
+    StridedCursor ca(out_shape, sa, lo * inner);
+    StridedCursor cb(out_shape, sb, lo * inner);
+    float* o = out + lo * inner;
+    for (int64_t r = lo; r < hi; ++r) {
+      const float* pa = a + ca.offset;
+      const float* pb = b + cb.offset;
+      if (sa_last == 1 && sb_last == 1) {
+        for (int64_t c = 0; c < inner; ++c) o[c] = fn(pa[c], pb[c]);
+      } else if (sa_last == 1 && sb_last == 0) {
+        const float bv = pb[0];
+        for (int64_t c = 0; c < inner; ++c) o[c] = fn(pa[c], bv);
+      } else if (sa_last == 0 && sb_last == 1) {
+        const float av = pa[0];
+        for (int64_t c = 0; c < inner; ++c) o[c] = fn(av, pb[c]);
+      } else {
+        for (int64_t c = 0; c < inner; ++c)
+          o[c] = fn(pa[c * sa_last], pb[c * sb_last]);
+      }
+      o += inner;
+      if (nd) {
+        ca.next(nd - 1);
+        cb.next(nd - 1);
+      }
+    }
+  });
+}
+
+}  // namespace
+
+void binary_same(BinOp op, const float* a, const float* b, float* out,
+                 int64_t n) {
+  switch (op) {
+    case BinOp::kAdd:
+      binary_same_apply(a, b, out, n, [](float x, float y) { return x + y; });
+      break;
+    case BinOp::kSub:
+      binary_same_apply(a, b, out, n, [](float x, float y) { return x - y; });
+      break;
+    case BinOp::kMul:
+      binary_same_apply(a, b, out, n, [](float x, float y) { return x * y; });
+      break;
+    case BinOp::kDiv:
+      binary_same_apply(a, b, out, n, [](float x, float y) { return x / y; });
+      break;
+  }
+}
+
+void binary_broadcast(BinOp op, const float* a, const float* b, float* out,
+                      const Shape& out_shape, const Shape& sa,
+                      const Shape& sb) {
+  switch (op) {
+    case BinOp::kAdd:
+      binary_broadcast_apply(a, b, out, out_shape, sa, sb,
+                             [](float x, float y) { return x + y; });
+      break;
+    case BinOp::kSub:
+      binary_broadcast_apply(a, b, out, out_shape, sa, sb,
+                             [](float x, float y) { return x - y; });
+      break;
+    case BinOp::kMul:
+      binary_broadcast_apply(a, b, out, out_shape, sa, sb,
+                             [](float x, float y) { return x * y; });
+      break;
+    case BinOp::kDiv:
+      binary_broadcast_apply(a, b, out, out_shape, sa, sb,
+                             [](float x, float y) { return x / y; });
+      break;
+  }
+}
+
+void map(const float* x, float* out, int64_t n, int64_t cost,
+         const std::function<void(const float*, float*, int64_t)>& fn) {
+  parallel_for(n, cost, [&](int64_t lo, int64_t hi) {
+    fn(x + lo, out + lo, hi - lo);
+  });
+}
+
+}  // namespace coastal::tensor::kernels

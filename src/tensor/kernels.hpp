@@ -1,0 +1,159 @@
+#pragma once
+
+/// \file kernels.hpp
+/// Parallel, cache-blocked compute kernels backing the hot tensor ops.
+///
+/// Design rules shared by every kernel here:
+///  * **Determinism across thread counts.**  Work is partitioned so that
+///    each output element (and each reduction feeding it) is computed by
+///    exactly one task with a thread-count-independent operation order.
+///    Results are bitwise identical under `COASTAL_NUM_THREADS=1` and `=N`.
+///  * **IEEE semantics.**  No value-dependent skips: NaN/Inf in either
+///    operand propagates exactly as in the reference triple loop (the old
+///    `if (a == 0.0f) continue;` shortcut is deliberately gone).
+///  * **Cache blocking.**  GEMM runs Mc×Kc×Nc panels with a
+///    register-blocked micro-kernel over packed A/B panels so the inner
+///    loop streams contiguous memory; `transpose_last` uses a blocked
+///    tile copy.
+///
+/// Threading is provided by `par::ThreadPool::global()`; kernels fall back
+/// to serial execution for small problems (see KernelConfig thresholds) and
+/// when already running inside a pool worker (no nested parallelism).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tensor/shape.hpp"
+
+namespace coastal::tensor::kernels {
+
+/// Tuning knobs for the kernel layer.  `config()` is initialized once from
+/// the environment and may be mutated by tests/benchmarks; kernels read it
+/// at call time.
+struct KernelConfig {
+  /// Worker count used for chunking decisions. 0 = auto (env
+  /// `COASTAL_NUM_THREADS`, else hardware concurrency). 1 = force serial.
+  int num_threads = 0;
+
+  // GEMM cache-block panel sizes (elements).  Mc×Kc A-panels target L2,
+  // Kc×Nc B-panels target L3/L2; the register micro-kernel is fixed at
+  // compile time (see kernels.cpp).
+  int64_t gemm_mc = 64;
+  int64_t gemm_kc = 256;
+  int64_t gemm_nc = 1024;
+
+  /// Below this many multiply-adds a GEMM stays on the naive serial path
+  /// (packing overhead dominates).  Path choice depends only on problem
+  /// size, never on thread count, preserving determinism.
+  int64_t gemm_small_madds = 4096;
+
+  /// Minimum elements a data-parallel loop must have per chunk before it
+  /// is worth shipping to the pool.
+  int64_t parallel_grain = 16384;
+
+  /// Chunk oversubscription factor (chunks ≈ factor × threads) for load
+  /// balance on ragged loops.
+  int oversubscribe = 4;
+};
+
+KernelConfig& config();
+
+/// Threads the kernels will actually chunk for: `config().num_threads`, or
+/// the `COASTAL_NUM_THREADS` env var, or hardware concurrency.
+int resolved_threads();
+
+/// Run `fn(lo, hi)` over [0, total), in parallel when the problem is big
+/// enough (`total * cost_per_item >= parallel_grain` and more than one
+/// thread is available), serially otherwise.  Chunk boundaries are
+/// independent of thread count only in so far as each index is processed
+/// exactly once — callers must keep any reduction confined to a single
+/// index for determinism.
+void parallel_for(int64_t total, int64_t cost_per_item,
+                  const std::function<void(int64_t, int64_t)>& fn);
+
+// ---------------------------------------------------------------------------
+// GEMM
+// ---------------------------------------------------------------------------
+
+/// C[m,n] += A[m,k] · B[k,n], row-major, serial.  Cache-blocked with packed
+/// panels; falls back to a naive loop below `gemm_small_madds`.
+void gemm(const float* A, const float* B, float* C, int64_t m, int64_t k,
+          int64_t n);
+
+/// Batched GEMM: for each batch entry i, C + i·m·n += (A + a_off[i]) ·
+/// (B + b_off[i]).  Parallelized over (batch × row-block) tasks; each
+/// output row is produced by exactly one task, so results are bitwise
+/// independent of thread count.  Offsets encode broadcast (repeated
+/// entries are fine).
+void gemm_batched(const float* A, const float* B, float* C, int64_t m,
+                  int64_t k, int64_t n, int64_t nbatch,
+                  const std::vector<int64_t>& a_off,
+                  const std::vector<int64_t>& b_off);
+
+// ---------------------------------------------------------------------------
+// Row-wise fused ops (softmax / layer norm); parallel over rows.
+// ---------------------------------------------------------------------------
+
+/// y[r,:] = softmax(x[r,:]).  Online max/denominator (single stats pass +
+/// one write pass).
+void softmax_rows(const float* x, float* y, int64_t rows, int64_t cols);
+
+/// gx = softmax backward from output y and upstream g.
+void softmax_backward_rows(const float* g, const float* y, float* gx,
+                           int64_t rows, int64_t cols);
+
+/// Layer norm over rows; writes normalized activations to `y`, and the
+/// backward stash `xhat` (normalized pre-affine) and `invstd` per row.
+/// Single pass over x per row (sum + sum-of-squares in double).
+void layer_norm_rows(const float* x, const float* gamma, const float* beta,
+                     float* y, float* xhat, float* invstd, int64_t rows,
+                     int64_t cols, float eps);
+
+/// Layer norm backward.  `gx` is [rows, cols]; `ggamma`/`gbeta` are [cols]
+/// and must be zero-initialized (column reductions are accumulated rowwise
+/// in a fixed order).
+void layer_norm_backward_rows(const float* g, const float* gamma,
+                              const float* xhat, const float* invstd,
+                              float* gx, float* ggamma, float* gbeta,
+                              int64_t rows, int64_t cols);
+
+// ---------------------------------------------------------------------------
+// Data movement
+// ---------------------------------------------------------------------------
+
+/// dst[b][j][i] = src[b][i][j] for each of `nbatch` row-major [rows, cols]
+/// matrices — the dominant `transpose_last`/`permute` case.  Blocked tile
+/// copy, parallel over batches and row tiles.
+void transpose_last2(const float* src, float* dst, int64_t nbatch,
+                     int64_t rows, int64_t cols);
+
+/// Generic permute gather: out[k] = src[offset(coords_of(k))] where
+/// offsets follow `gather_strides` over `out_shape`.  Incremental odometer
+/// (no per-element stride dot product), parallel over leading chunks.
+void permute_gather(const float* src, float* dst, const Shape& out_shape,
+                    const Shape& gather_strides);
+
+// ---------------------------------------------------------------------------
+// Elementwise
+// ---------------------------------------------------------------------------
+
+enum class BinOp { kAdd, kSub, kMul, kDiv };
+
+/// out[i] = a[i] op b[i] over `n` contiguous elements, parallel.
+void binary_same(BinOp op, const float* a, const float* b, float* out,
+                 int64_t n);
+
+/// Broadcast binary op: `sa`/`sb` are broadcast strides of a/b over
+/// `out_shape` (0 on broadcast axes).  Incremental offsets; the inner
+/// (last-axis) loop is specialized for contiguous/broadcast operands.
+void binary_broadcast(BinOp op, const float* a, const float* b, float* out,
+                      const Shape& out_shape, const Shape& sa,
+                      const Shape& sb);
+
+/// out[i] = fn(x[i]) in parallel chunks; `cost` is a relative per-element
+/// cost hint (1 = cheap arithmetic, larger for transcendentals).
+void map(const float* x, float* out, int64_t n, int64_t cost,
+         const std::function<void(const float*, float*, int64_t)>& fn);
+
+}  // namespace coastal::tensor::kernels

@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "tensor/kernels.hpp"
+
 namespace coastal::tensor {
 
 // ---------------------------------------------------------------------------
@@ -95,10 +97,8 @@ void add_into(Tensor& acc, const Tensor& g) {
     return;
   }
   COASTAL_CHECK(acc.shape() == g.shape());
-  float* a = acc.raw();
-  const float* b = g.raw();
-  const int64_t n = acc.numel();
-  for (int64_t i = 0; i < n; ++i) a[i] += b[i];
+  kernels::binary_same(kernels::BinOp::kAdd, acc.raw(), g.raw(), acc.raw(),
+                       acc.numel());
 }
 
 /// Non-differentiable broadcast materialization (backward helper).
@@ -207,10 +207,8 @@ void Tensor::accumulate_grad(const Tensor& g) {
     impl_->grad = g.clone().impl();
     return;
   }
-  float* a = impl_->grad->data.data();
-  const float* b = g.raw();
-  const int64_t n = numel();
-  for (int64_t i = 0; i < n; ++i) a[i] += b[i];
+  kernels::binary_same(kernels::BinOp::kAdd, impl_->grad->data.data(),
+                       g.raw(), impl_->grad->data.data(), numel());
 }
 
 void Tensor::backward(const Tensor& seed) const {
@@ -295,26 +293,19 @@ Tensor Tensor::clone() const { return detach(); }
 
 namespace {
 
-template <typename FwdFn>
 std::vector<float> broadcast_apply(const Tensor& a, const Tensor& b,
-                                   const Shape& out_shape, FwdFn fn) {
+                                   const Shape& out_shape,
+                                   kernels::BinOp op) {
   std::vector<float> out(static_cast<size_t>(tensor::numel(out_shape)));
   if (a.shape() == b.shape()) {
-    const float* pa = a.raw();
-    const float* pb = b.raw();
-    for (size_t i = 0; i < out.size(); ++i) out[i] = fn(pa[i], pb[i]);
+    kernels::binary_same(op, a.raw(), b.raw(), out.data(),
+                         static_cast<int64_t>(out.size()));
     return out;
   }
   const Shape sa = broadcast_strides(a.shape(), out_shape);
   const Shape sb = broadcast_strides(b.shape(), out_shape);
-  CoordIter it(out_shape);
-  const float* pa = a.raw();
-  const float* pb = b.raw();
-  size_t k = 0;
-  do {
-    out[k++] = fn(pa[dot_strides(it.coords(), sa)],
-                  pb[dot_strides(it.coords(), sb)]);
-  } while (it.next());
+  kernels::binary_broadcast(op, a.raw(), b.raw(), out.data(), out_shape, sa,
+                            sb);
   return out;
 }
 
@@ -322,8 +313,7 @@ std::vector<float> broadcast_apply(const Tensor& a, const Tensor& b,
 
 Tensor Tensor::add(const Tensor& o) const {
   const Shape out_shape = broadcast_shapes(shape(), o.shape());
-  auto out = broadcast_apply(*this, o, out_shape,
-                             [](float x, float y) { return x + y; });
+  auto out = broadcast_apply(*this, o, out_shape, kernels::BinOp::kAdd);
   const Shape sa = shape(), sb = o.shape();
   return make_result(out_shape, std::move(out), "add", {*this, o},
                      [sa, sb](const Tensor& g) -> std::vector<Tensor> {
@@ -333,8 +323,7 @@ Tensor Tensor::add(const Tensor& o) const {
 
 Tensor Tensor::sub(const Tensor& o) const {
   const Shape out_shape = broadcast_shapes(shape(), o.shape());
-  auto out = broadcast_apply(*this, o, out_shape,
-                             [](float x, float y) { return x - y; });
+  auto out = broadcast_apply(*this, o, out_shape, kernels::BinOp::kSub);
   const Shape sa = shape(), sb = o.shape();
   return make_result(out_shape, std::move(out), "sub", {*this, o},
                      [sa, sb](const Tensor& g) -> std::vector<Tensor> {
@@ -344,8 +333,7 @@ Tensor Tensor::sub(const Tensor& o) const {
 
 Tensor Tensor::mul(const Tensor& o) const {
   const Shape out_shape = broadcast_shapes(shape(), o.shape());
-  auto out = broadcast_apply(*this, o, out_shape,
-                             [](float x, float y) { return x * y; });
+  auto out = broadcast_apply(*this, o, out_shape, kernels::BinOp::kMul);
   Tensor a = *this, b = o;
   return make_result(out_shape, std::move(out), "mul", {a, b},
                      [a, b](const Tensor& g) -> std::vector<Tensor> {
@@ -357,8 +345,7 @@ Tensor Tensor::mul(const Tensor& o) const {
 
 Tensor Tensor::div(const Tensor& o) const {
   const Shape out_shape = broadcast_shapes(shape(), o.shape());
-  auto out = broadcast_apply(*this, o, out_shape,
-                             [](float x, float y) { return x / y; });
+  auto out = broadcast_apply(*this, o, out_shape, kernels::BinOp::kDiv);
   Tensor a = *this, b = o;
   return make_result(
       out_shape, std::move(out), "div", {a, b},
@@ -375,11 +362,18 @@ Tensor Tensor::div(const Tensor& o) const {
 
 namespace {
 
+/// Relative per-element cost hint for parallel chunking: transcendental
+/// unary ops are worth parallelizing at smaller sizes than plain
+/// arithmetic.
+constexpr int64_t kUnaryCost = 8;
+
 template <typename FwdFn, typename BwdFn>
 Tensor unary_op(const Tensor& x, const char* name, FwdFn fwd, BwdFn bwd) {
   std::vector<float> out(static_cast<size_t>(x.numel()));
-  const float* px = x.raw();
-  for (size_t i = 0; i < out.size(); ++i) out[i] = fwd(px[i]);
+  kernels::map(x.raw(), out.data(), x.numel(), kUnaryCost,
+               [fwd](const float* in, float* o, int64_t n) {
+                 for (int64_t i = 0; i < n; ++i) o[i] = fwd(in[i]);
+               });
   Tensor saved_x = x;
   Tensor result = make_result(
       x.shape(), std::move(out), name, {x},
@@ -387,7 +381,12 @@ Tensor unary_op(const Tensor& x, const char* name, FwdFn fwd, BwdFn bwd) {
         std::vector<float> gx(static_cast<size_t>(g.numel()));
         const float* pg = g.raw();
         const float* px = saved_x.raw();
-        for (size_t i = 0; i < gx.size(); ++i) gx[i] = bwd(pg[i], px[i]);
+        kernels::map(px, gx.data(), g.numel(), kUnaryCost,
+                     [bwd, pg, px](const float* in, float* o, int64_t n) {
+                       const int64_t base = in - px;
+                       for (int64_t i = 0; i < n; ++i)
+                         o[i] = bwd(pg[base + i], in[i]);
+                     });
         return {Tensor::from_vector(saved_x.shape(), std::move(gx))};
       });
   return result;
@@ -591,21 +590,6 @@ Tensor Tensor::sum_to(const Shape& target) const {
 
 namespace {
 
-/// C[m,n] += A[m,k] * B[k,n], row-major; ikj loop order for locality.
-void gemm_acc(const float* A, const float* B, float* C, int64_t m, int64_t k,
-              int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    float* crow = C + i * n;
-    const float* arow = A + i * k;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float a = arow[kk];
-      if (a == 0.0f) continue;
-      const float* brow = B + kk * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += a * brow[j];
-    }
-  }
-}
-
 Shape batch_dims(const Shape& s) {
   return Shape(s.begin(), s.end() - 2);
 }
@@ -634,21 +618,22 @@ Tensor Tensor::matmul(const Tensor& o) const {
   const Shape bbatch = batch_dims(o.shape());
   const Shape astr = broadcast_strides(abatch, batch);
   const Shape bstr = broadcast_strides(bbatch, batch);
-  const float* A = raw();
-  const float* B = o.raw();
-
-  if (batch.empty()) {
-    gemm_acc(A, B, out.data(), m, k, n);
-  } else {
+  // Flatten broadcast batch coordinates to per-entry operand offsets, then
+  // hand the whole problem to the blocked batched kernel (parallel over
+  // batch entries and row blocks).
+  std::vector<int64_t> a_off(static_cast<size_t>(nbatch), 0);
+  std::vector<int64_t> b_off(static_cast<size_t>(nbatch), 0);
+  if (!batch.empty()) {
     CoordIter it(batch);
-    int64_t bi = 0;
+    size_t bi = 0;
     do {
-      const int64_t aoff = dot_strides(it.coords(), astr) * m * k;
-      const int64_t boff = dot_strides(it.coords(), bstr) * k * n;
-      gemm_acc(A + aoff, B + boff, out.data() + bi * m * n, m, k, n);
+      a_off[bi] = dot_strides(it.coords(), astr) * m * k;
+      b_off[bi] = dot_strides(it.coords(), bstr) * k * n;
       ++bi;
     } while (it.next());
   }
+  kernels::gemm_batched(raw(), o.raw(), out.data(), m, k, n, nbatch, a_off,
+                        b_off);
 
   Tensor a = *this, b = o;
   return make_result(out_shape, std::move(out), "matmul", {a, b},
@@ -703,13 +688,25 @@ Tensor Tensor::permute(const std::vector<size_t>& perm) const {
   Shape gather_str(ndim());
   for (size_t i = 0; i < ndim(); ++i) gather_str[i] = in_str[perm[i]];
 
+  // Last-two-axes swap (the transpose_last pattern dominating attention)
+  // gets a blocked tile transpose; anything else takes the generic
+  // incremental gather.
+  bool last_two_swap = ndim() >= 2;
+  for (size_t i = 0; last_two_swap && i + 2 < ndim(); ++i)
+    last_two_swap = perm[i] == i;
+  last_two_swap = last_two_swap && ndim() >= 2 &&
+                  perm[ndim() - 2] == ndim() - 1 &&
+                  perm[ndim() - 1] == ndim() - 2;
+
   std::vector<float> out(static_cast<size_t>(numel()));
-  CoordIter it(out_shape);
-  const float* p = raw();
-  size_t k = 0;
-  do {
-    out[k++] = p[dot_strides(it.coords(), gather_str)];
-  } while (it.next());
+  if (last_two_swap && numel() > 0) {
+    const int64_t rows = shape()[ndim() - 2];
+    const int64_t cols = shape()[ndim() - 1];
+    kernels::transpose_last2(raw(), out.data(), numel() / (rows * cols),
+                             rows, cols);
+  } else {
+    kernels::permute_gather(raw(), out.data(), out_shape, gather_str);
+  }
 
   std::vector<size_t> inv(ndim());
   for (size_t i = 0; i < ndim(); ++i) inv[perm[i]] = i;
@@ -855,37 +852,15 @@ Tensor Tensor::softmax_lastdim() const {
   const int64_t cols = shape()[ndim() - 1];
   const int64_t rows = numel() / cols;
   std::vector<float> out(static_cast<size_t>(numel()));
-  const float* p = raw();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* row = p + r * cols;
-    float* orow = out.data() + r * cols;
-    float mx = row[0];
-    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, row[c]);
-    float denom = 0.0f;
-    for (int64_t c = 0; c < cols; ++c) {
-      orow[c] = std::exp(row[c] - mx);
-      denom += orow[c];
-    }
-    const float inv = 1.0f / denom;
-    for (int64_t c = 0; c < cols; ++c) orow[c] *= inv;
-  }
+  kernels::softmax_rows(raw(), out.data(), rows, cols);
 
   Tensor saved_out = Tensor::from_vector(shape(), out);  // copy for backward
   return make_result(
       shape(), std::move(out), "softmax", {*this},
       [saved_out, rows, cols](const Tensor& g) -> std::vector<Tensor> {
         std::vector<float> gx(static_cast<size_t>(g.numel()));
-        const float* pg = g.raw();
-        const float* po = saved_out.raw();
-        for (int64_t r = 0; r < rows; ++r) {
-          const float* grow = pg + r * cols;
-          const float* orow = po + r * cols;
-          float dot = 0.0f;
-          for (int64_t c = 0; c < cols; ++c) dot += grow[c] * orow[c];
-          float* gxr = gx.data() + r * cols;
-          for (int64_t c = 0; c < cols; ++c)
-            gxr[c] = orow[c] * (grow[c] - dot);
-        }
+        kernels::softmax_backward_rows(g.raw(), saved_out.raw(), gx.data(),
+                                       rows, cols);
         return {Tensor::from_vector(saved_out.shape(), std::move(gx))};
       });
 }
@@ -901,28 +876,8 @@ Tensor Tensor::layer_norm(const Tensor& gamma, const Tensor& beta,
       static_cast<size_t>(numel()));
   auto invstd = std::make_shared<std::vector<float>>(
       static_cast<size_t>(rows));
-  const float* p = raw();
-  const float* pg = gamma.raw();
-  const float* pb = beta.raw();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* row = p + r * cols;
-    double mu = 0.0;
-    for (int64_t c = 0; c < cols; ++c) mu += row[c];
-    mu /= static_cast<double>(cols);
-    double var = 0.0;
-    for (int64_t c = 0; c < cols; ++c) {
-      const double d = row[c] - mu;
-      var += d * d;
-    }
-    var /= static_cast<double>(cols);
-    const float is = 1.0f / std::sqrt(static_cast<float>(var) + eps);
-    (*invstd)[static_cast<size_t>(r)] = is;
-    for (int64_t c = 0; c < cols; ++c) {
-      const float xh = (row[c] - static_cast<float>(mu)) * is;
-      (*xhat)[static_cast<size_t>(r * cols + c)] = xh;
-      out[static_cast<size_t>(r * cols + c)] = pg[c] * xh + pb[c];
-    }
-  }
+  kernels::layer_norm_rows(raw(), gamma.raw(), beta.raw(), out.data(),
+                           xhat->data(), invstd->data(), rows, cols, eps);
 
   Tensor x = *this, gm = gamma;
   const Shape in_shape = shape();
@@ -934,30 +889,10 @@ Tensor Tensor::layer_norm(const Tensor& gamma, const Tensor& beta,
         std::vector<float> gx(static_cast<size_t>(rows * cols));
         std::vector<float> ggamma(static_cast<size_t>(cols), 0.0f);
         std::vector<float> gbeta(static_cast<size_t>(cols), 0.0f);
-        const float* pg = g.raw();
-        const float* pgamma = gm.raw();
-        for (int64_t r = 0; r < rows; ++r) {
-          const float* grow = pg + r * cols;
-          const float* xh = xhat->data() + r * cols;
-          const float is = (*invstd)[static_cast<size_t>(r)];
-          // dL/dxhat = g * gamma; then the standard LN backward.
-          double mean_dxhat = 0.0, mean_dxhat_xhat = 0.0;
-          for (int64_t c = 0; c < cols; ++c) {
-            const float dxh = grow[c] * pgamma[c];
-            mean_dxhat += dxh;
-            mean_dxhat_xhat += static_cast<double>(dxh) * xh[c];
-            ggamma[static_cast<size_t>(c)] += grow[c] * xh[c];
-            gbeta[static_cast<size_t>(c)] += grow[c];
-          }
-          mean_dxhat /= static_cast<double>(cols);
-          mean_dxhat_xhat /= static_cast<double>(cols);
-          float* gxr = gx.data() + r * cols;
-          for (int64_t c = 0; c < cols; ++c) {
-            const float dxh = grow[c] * pgamma[c];
-            gxr[c] = is * (dxh - static_cast<float>(mean_dxhat) -
-                           xh[c] * static_cast<float>(mean_dxhat_xhat));
-          }
-        }
+        kernels::layer_norm_backward_rows(g.raw(), gm.raw(), xhat->data(),
+                                          invstd->data(), gx.data(),
+                                          ggamma.data(), gbeta.data(), rows,
+                                          cols);
         return {Tensor::from_vector(in_shape, std::move(gx)),
                 Tensor::from_vector(gshape, std::move(ggamma)),
                 Tensor::from_vector(gshape, std::move(gbeta))};

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "tensor/kernels.hpp"
 #include "tensor/tensor.hpp"
 #include "test_helpers.hpp"
 #include "util/rng.hpp"
@@ -244,4 +245,29 @@ TEST(Autograd, CustomOpBackward) {
   y.sum().backward();
   EXPECT_FLOAT_EQ(x.grad().data()[0], 3.0f);
   EXPECT_FLOAT_EQ(x.grad().data()[1], 3.0f);
+}
+
+// The softmax / layer-norm kernels are parallel and cache-blocked; their
+// gradients must be unchanged when the parallel path is forced (chunked
+// dispatch across rows) — a regression guard for the kernel-layer rewrite.
+TEST(Autograd, SoftmaxAndLayerNormGradsUnchangedUnderParallelKernels) {
+  coastal::testing::KernelConfigOverride guard;
+  ct::kernels::config().num_threads = 8;
+  ct::kernels::config().parallel_grain = 1;
+
+  Tensor w = rand_tensor({6, 9}, 31);
+  gradcheck([&](const Tensor& x) { return x.softmax_lastdim().mul(w).sum(); },
+            rand_tensor({6, 9}, 32));
+  Tensor gamma = rand_tensor({9}, 33);
+  Tensor beta = rand_tensor({9}, 34);
+  gradcheck(
+      [&](const Tensor& x) {
+        return x.layer_norm(gamma, beta).mul(w).sum();
+      },
+      rand_tensor({6, 9}, 35));
+  gradcheck(
+      [&](const Tensor& g) {
+        return rand_tensor({6, 9}, 36).layer_norm(g, beta).mul(w).sum();
+      },
+      gamma);
 }

@@ -10,11 +10,19 @@
 #include <functional>
 #include <vector>
 
+#include "tensor/kernels.hpp"
 #include "tensor/tensor.hpp"
 
 namespace coastal::testing {
 
 using tensor::Tensor;
+
+/// RAII override of the kernel config (thread count, grains, tile sizes);
+/// restores the previous config on scope exit even if a check throws.
+struct KernelConfigOverride {
+  tensor::kernels::KernelConfig saved = tensor::kernels::config();
+  ~KernelConfigOverride() { tensor::kernels::config() = saved; }
+};
 
 /// Max absolute elementwise difference.
 inline double max_abs_diff(const Tensor& a, const Tensor& b) {

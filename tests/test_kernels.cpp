@@ -1,0 +1,302 @@
+/// Tests for the parallel cache-blocked kernel layer (tensor/kernels.*):
+/// blocked GEMM vs a reference triple loop across odd sizes and broadcast
+/// batch shapes, NaN/Inf propagation semantics, bitwise serial-vs-parallel
+/// agreement, softmax / layer-norm kernels, permute/transpose fast paths,
+/// and the fused attention head split/merge ops.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "nn/attention.hpp"
+#include "tensor/kernels.hpp"
+#include "tensor/tensor.hpp"
+#include "test_helpers.hpp"
+
+using namespace coastal;
+using tensor::Shape;
+using tensor::Tensor;
+namespace ker = tensor::kernels;
+
+namespace {
+
+/// Reference batched matmul: plain triple loop, no blocking, no skips.
+Tensor reference_matmul(const Tensor& a, const Tensor& b) {
+  const size_t nda = a.ndim(), ndb = b.ndim();
+  const int64_t m = a.shape()[nda - 2], k = a.shape()[nda - 1];
+  const int64_t n = b.shape()[ndb - 1];
+  const Shape abatch(a.shape().begin(), a.shape().end() - 2);
+  const Shape bbatch(b.shape().begin(), b.shape().end() - 2);
+  const Shape batch = tensor::broadcast_shapes(abatch, bbatch);
+  Shape out_shape = batch;
+  out_shape.push_back(m);
+  out_shape.push_back(n);
+  Tensor out = Tensor::zeros(out_shape);
+  const Shape astr = tensor::broadcast_strides(abatch, batch);
+  const Shape bstr = tensor::broadcast_strides(bbatch, batch);
+  tensor::CoordIter it(batch);
+  int64_t bi = 0;
+  float* po = out.raw();
+  do {
+    const float* A = a.raw() + tensor::dot_strides(it.coords(), astr) * m * k;
+    const float* B = b.raw() + tensor::dot_strides(it.coords(), bstr) * k * n;
+    float* C = po + bi * m * n;
+    for (int64_t i = 0; i < m; ++i)
+      for (int64_t kk = 0; kk < k; ++kk)
+        for (int64_t j = 0; j < n; ++j) C[i * n + j] += A[i * k + kk] * B[kk * n + j];
+    ++bi;
+  } while (it.next());
+  return out;
+}
+
+}  // namespace
+
+TEST(Kernels, MatmulMatchesReferenceAcrossTileBoundaries) {
+  util::Rng rng(11);
+  tensor::NoGradGuard ng;
+  // Odd sizes crossing the MR/NR/Mc/Kc/Nc boundaries, plus tiny shapes
+  // that stay on the naive path.
+  const int64_t sizes[][3] = {{1, 1, 1},   {3, 5, 2},    {8, 8, 8},
+                              {33, 65, 17}, {65, 33, 129}, {70, 256, 40},
+                              {130, 40, 300}};
+  for (const auto& s : sizes) {
+    Tensor a = Tensor::randn({s[0], s[1]}, rng);
+    Tensor b = Tensor::randn({s[1], s[2]}, rng);
+    Tensor got = a.matmul(b);
+    Tensor want = reference_matmul(a, b);
+    EXPECT_LT(coastal::testing::max_abs_diff(got, want),
+              1e-3 * std::sqrt(static_cast<double>(s[1])))
+        << s[0] << "x" << s[1] << "x" << s[2];
+  }
+}
+
+TEST(Kernels, RawGemmEntryPointAccumulatesIntoC) {
+  // The public kernels::gemm contract is C += A·B (not overwrite).
+  util::Rng rng(22);
+  tensor::NoGradGuard ng;
+  Tensor a = Tensor::randn({33, 17}, rng);
+  Tensor b = Tensor::randn({17, 65}, rng);
+  Tensor want = reference_matmul(a, b);
+  std::vector<float> c(static_cast<size_t>(33 * 65), 1.0f);
+  ker::gemm(a.raw(), b.raw(), c.data(), 33, 17, 65);
+  const float* pw = want.raw();
+  for (size_t i = 0; i < c.size(); ++i)
+    ASSERT_NEAR(c[i], pw[i] + 1.0f, 1e-3) << "flat index " << i;
+}
+
+TEST(Kernels, MatmulBroadcastBatchShapes) {
+  util::Rng rng(12);
+  tensor::NoGradGuard ng;
+  struct Case {
+    Shape a, b;
+  };
+  const Case cases[] = {
+      {{2, 1, 9, 7}, {1, 3, 7, 5}},   // both sides broadcast
+      {{4, 6, 5}, {5, 8}},            // batched x unbatched
+      {{9, 7}, {3, 7, 4}},            // unbatched x batched
+      {{2, 3, 33, 17}, {2, 3, 17, 65}},  // plain batch, odd tile edges
+  };
+  for (const auto& c : cases) {
+    Tensor a = Tensor::randn(c.a, rng);
+    Tensor b = Tensor::randn(c.b, rng);
+    Tensor got = a.matmul(b);
+    Tensor want = reference_matmul(a, b);
+    ASSERT_EQ(got.shape(), want.shape());
+    EXPECT_LT(coastal::testing::max_abs_diff(got, want), 1e-2);
+  }
+}
+
+// Regression: the historic inner-loop skip `if (a == 0.0f) continue;`
+// silently suppressed NaN/Inf propagation from B wherever A had a zero.
+// The blocked kernel must honor IEEE semantics: 0 * NaN = NaN, 0 * Inf = NaN.
+TEST(Kernels, MatmulPropagatesNaNAndInfThroughZeroEntries) {
+  tensor::NoGradGuard ng;
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  Tensor a = Tensor::from_vector({2, 2}, {1.0f, 0.0f, 2.0f, 3.0f});
+  Tensor b = Tensor::from_vector({2, 2}, {5.0f, 6.0f, nan, inf});
+  Tensor c = a.matmul(b);
+  // Row 0 multiplies the NaN/Inf row of B by 0: 0*NaN and 0*Inf are NaN.
+  EXPECT_TRUE(std::isnan(c.at({0, 0})));
+  EXPECT_TRUE(std::isnan(c.at({0, 1})));
+  EXPECT_TRUE(std::isnan(c.at({1, 0})));           // 2*5 + 3*NaN
+  EXPECT_TRUE(std::isinf(c.at({1, 1})));           // 2*6 + 3*Inf
+
+  // Also on the blocked (large) path: one zero A entry against an Inf in B.
+  Tensor a2 = Tensor::ones({40, 64});
+  Tensor b2 = Tensor::ones({64, 48});
+  a2.set({7, 3}, 0.0f);
+  b2.set({3, 11}, inf);
+  Tensor c2 = a2.matmul(b2);
+  EXPECT_TRUE(std::isnan(c2.at({7, 11})));  // 0 * inf
+  EXPECT_TRUE(std::isinf(c2.at({6, 11})));  // 1 * inf
+}
+
+TEST(Kernels, SerialAndParallelResultsAreBitwiseIdentical) {
+  util::Rng rng(13);
+  Tensor a = Tensor::randn({3, 150, 70}, rng);
+  Tensor b = Tensor::randn({3, 70, 200}, rng);
+  Tensor x = Tensor::randn({37, 130}, rng);
+  Tensor gamma = Tensor::randn({130}, rng);
+  Tensor beta = Tensor::randn({130}, rng);
+  Tensor big = Tensor::randn({5, 33, 65}, rng);
+  Tensor bias = Tensor::randn({1, 33, 1}, rng);
+  tensor::NoGradGuard ng;
+
+  auto run_all = [&] {
+    std::vector<Tensor> r;
+    r.push_back(a.matmul(b));
+    r.push_back(x.softmax_lastdim());
+    r.push_back(x.layer_norm(gamma, beta));
+    r.push_back(big.transpose_last());
+    r.push_back(big.permute({2, 0, 1}));
+    r.push_back(big.add(bias));
+    r.push_back(big.exp());
+    return r;
+  };
+
+  coastal::testing::KernelConfigOverride guard;
+  ker::config().num_threads = 1;
+  auto serial = run_all();
+  ker::config().num_threads = 8;
+  ker::config().parallel_grain = 1;  // force chunked dispatch
+  auto parallel = run_all();
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].shape(), parallel[i].shape()) << "result " << i;
+    EXPECT_EQ(std::memcmp(serial[i].raw(), parallel[i].raw(),
+                          static_cast<size_t>(serial[i].numel()) *
+                              sizeof(float)),
+              0)
+        << "serial vs parallel mismatch in result " << i;
+  }
+}
+
+TEST(Kernels, SoftmaxRowsMatchesReference) {
+  util::Rng rng(14);
+  Tensor x = Tensor::randn({21, 37}, rng);
+  tensor::NoGradGuard ng;
+  Tensor y = x.softmax_lastdim();
+  for (int64_t r = 0; r < 21; ++r) {
+    double denom = 0.0, mx = -1e30;
+    for (int64_t c = 0; c < 37; ++c) mx = std::max(mx, (double)x.at({r, c}));
+    for (int64_t c = 0; c < 37; ++c) denom += std::exp(x.at({r, c}) - mx);
+    for (int64_t c = 0; c < 37; ++c) {
+      EXPECT_NEAR(y.at({r, c}), std::exp(x.at({r, c}) - mx) / denom, 1e-5);
+    }
+  }
+}
+
+TEST(Kernels, LayerNormSinglePassMatchesTwoPassReference) {
+  util::Rng rng(15);
+  // Large mean offset stresses the E[x^2] - E[x]^2 formulation.
+  Tensor x = Tensor::randn({9, 64}, rng).add_scalar(50.0f);
+  Tensor gamma = Tensor::randn({64}, rng);
+  Tensor beta = Tensor::randn({64}, rng);
+  tensor::NoGradGuard ng;
+  Tensor y = x.layer_norm(gamma, beta);
+  for (int64_t r = 0; r < 9; ++r) {
+    double mu = 0.0, var = 0.0;
+    for (int64_t c = 0; c < 64; ++c) mu += x.at({r, c});
+    mu /= 64.0;
+    for (int64_t c = 0; c < 64; ++c) {
+      const double d = x.at({r, c}) - mu;
+      var += d * d;
+    }
+    var /= 64.0;
+    const double is = 1.0 / std::sqrt(var + 1e-5);
+    for (int64_t c = 0; c < 64; ++c) {
+      const double want = gamma.at({c}) * (x.at({r, c}) - mu) * is + beta.at({c});
+      EXPECT_NEAR(y.at({r, c}), want, 1e-3);
+    }
+  }
+}
+
+TEST(Kernels, TransposeAndPermuteFastPathsMatchCoordIterReference) {
+  util::Rng rng(16);
+  tensor::NoGradGuard ng;
+  Tensor x = Tensor::randn({3, 33, 65}, rng);
+  const std::vector<std::vector<size_t>> perms = {
+      {0, 2, 1},  // blocked transpose fast path
+      {2, 1, 0},
+      {1, 2, 0},
+  };
+  for (const auto& perm : perms) {
+    Tensor got = x.permute(perm);
+    // CoordIter reference gather.
+    Shape out_shape(3);
+    for (size_t i = 0; i < 3; ++i) out_shape[i] = x.shape()[perm[i]];
+    const Shape in_str = tensor::strides_of(x.shape());
+    Shape gstr(3);
+    for (size_t i = 0; i < 3; ++i) gstr[i] = in_str[perm[i]];
+    tensor::CoordIter it(out_shape);
+    size_t k = 0;
+    do {
+      EXPECT_EQ(got.raw()[k++],
+                x.raw()[tensor::dot_strides(it.coords(), gstr)]);
+    } while (it.next());
+  }
+}
+
+TEST(Kernels, SplitQkvHeadMatchesPermuteSlicePath) {
+  util::Rng rng(17);
+  const int64_t B = 2, N = 5, heads = 3, hd = 4;
+  const int64_t C = heads * hd;
+  Tensor qkv = Tensor::randn({B, N, 3 * C}, rng);
+  tensor::NoGradGuard ng;
+  Tensor ref = qkv.reshape({B, N, 3, heads, hd}).permute({2, 0, 3, 1, 4});
+  for (int which = 0; which < 3; ++which) {
+    Tensor got = nn::split_qkv_head(qkv, heads, which);
+    Tensor want = ref.slice(0, which, 1).reshape({B, heads, N, hd});
+    coastal::testing::expect_tensor_near(got, want, 0.0);
+  }
+}
+
+TEST(Kernels, MergeHeadsMatchesPermuteReshapePath) {
+  util::Rng rng(18);
+  const int64_t B = 2, heads = 3, N = 5, hd = 4;
+  Tensor x = Tensor::randn({B, heads, N, hd}, rng);
+  tensor::NoGradGuard ng;
+  Tensor got = nn::merge_heads(x);
+  Tensor want = x.permute({0, 2, 1, 3}).reshape({B, N, heads * hd});
+  coastal::testing::expect_tensor_near(got, want, 0.0);
+}
+
+TEST(Kernels, SplitAndMergeHeadsGradcheck) {
+  util::Rng rng(19);
+  const int64_t B = 1, N = 3, heads = 2, hd = 2;
+  const int64_t C = heads * hd;
+  Tensor qkv = Tensor::randn({B, N, 3 * C}, rng);
+  coastal::testing::gradcheck(
+      [&](const Tensor& t) {
+        Tensor q = nn::split_qkv_head(t, heads, 0);
+        Tensor k = nn::split_qkv_head(t, heads, 1);
+        Tensor v = nn::split_qkv_head(t, heads, 2);
+        return nn::merge_heads(q.mul(k).add(v)).sum();
+      },
+      qkv);
+}
+
+TEST(Kernels, AttentionForwardGradcheckThroughFusedPath) {
+  util::Rng rng(20);
+  nn::MultiHeadSelfAttention attn(8, 2, rng);
+  Tensor x = Tensor::randn({2, 3, 8}, rng);
+  coastal::testing::gradcheck(
+      [&](const Tensor& t) { return attn.forward(t).mul(t).sum(); }, x);
+}
+
+TEST(Kernels, MatmulGradcheckThroughBlockedKernel) {
+  util::Rng rng(21);
+  // Big enough to leave the naive small-GEMM path even without config
+  // overrides? No — force the blocked path instead, keeping gradcheck fast.
+  coastal::testing::KernelConfigOverride guard;
+  ker::config().gemm_small_madds = 0;
+  Tensor a = Tensor::randn({3, 4}, rng);
+  Tensor b = Tensor::randn({4, 5}, rng);
+  coastal::testing::gradcheck(
+      [&](const Tensor& t) { return t.matmul(b).sum(); }, a);
+  coastal::testing::gradcheck(
+      [&](const Tensor& t) { return a.matmul(t).mul_scalar(0.5f).sum(); }, b);
+}

@@ -39,6 +39,56 @@ TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
   EXPECT_FALSE(called);
 }
 
+TEST(ThreadPool, ParallelForOversubscribesChunks) {
+  par::ThreadPool pool(2);
+  std::atomic<int> chunks{0};
+  pool.parallel_for(0, 1000, [&](size_t, size_t) { chunks.fetch_add(1); });
+  // Default chunking targets ~4x the worker count for load balance.
+  EXPECT_GT(chunks.load(), 2);
+  // An explicit chunk hint is honored.
+  chunks = 0;
+  pool.parallel_for(0, 1000,
+                    [&](size_t, size_t) { chunks.fetch_add(1); }, 5);
+  EXPECT_EQ(chunks.load(), 5);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptionAndStaysUsable) {
+  par::ThreadPool pool(3);
+  // A throw in one chunk must not leak the other chunks' futures or wedge
+  // the pool; the first exception is rethrown after all chunks finish.
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.parallel_for(0, 12,
+                        [&](size_t lo, size_t) {
+                          if (lo == 0) throw std::runtime_error("chunk 0");
+                          completed.fetch_add(1);
+                        },
+                        12),
+      std::runtime_error);
+  EXPECT_EQ(completed.load(), 11);
+  // Pool still works afterwards.
+  std::atomic<int> counter{0};
+  pool.parallel_for(0, 50, [&](size_t lo, size_t hi) {
+    counter.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  par::ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(0, 4, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      EXPECT_TRUE(par::ThreadPool::in_worker());
+      // Would deadlock if this blocked on the same pool's queue.
+      pool.parallel_for(0, 10, [&](size_t l, size_t h) {
+        inner_total.fetch_add(static_cast<int>(h - l));
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 40);
+}
+
 TEST(Communicator, PointToPointDelivery) {
   par::World world(3);
   world.run([](par::Comm& comm) {
