@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <limits>
+
 #include "bench_common.hpp"
 #include "core/window4d.hpp"
 #include "nn/attention.hpp"
@@ -124,6 +126,42 @@ static void BM_AttentionForward(benchmark::State& state) {
   state.SetLabel("tokens=" + std::to_string(state.range(0)));
 }
 BENCHMARK(BM_AttentionForward)->Arg(16)->Arg(64);
+
+namespace {
+
+/// Fused-vs-unfused attention forward at Swin-realistic window volumes
+/// (4^4 = 256 tokens and neighbors).  Same module and input; only the
+/// `attn_fused_min_n` gate differs, so the delta is purely the flash-style
+/// epilogue vs the materialized [B, h, N, N] score round-trip.
+void attention_forward_bench(benchmark::State& state, bool fused) {
+  const int64_t n = state.range(0);
+  util::Rng rng(5);
+  nn::MultiHeadSelfAttention attn(32, 4, rng);
+  Tensor x = Tensor::randn({8, n, 32}, rng);
+  tensor::NoGradGuard ng;
+  // RAII so a throwing iteration can't leak the pinned gate into the
+  // benchmarks that run after this one.
+  struct ConfigGuard {
+    tensor::kernels::KernelConfig saved = tensor::kernels::config();
+    ~ConfigGuard() { tensor::kernels::config() = saved; }
+  } guard;
+  tensor::kernels::config().attn_fused_min_n =
+      fused ? 1 : std::numeric_limits<int64_t>::max();
+  for (auto _ : state) benchmark::DoNotOptimize(attn.forward(x).raw());
+  state.SetLabel("tokens=" + std::to_string(n));
+}
+
+}  // namespace
+
+static void BM_AttentionFused(benchmark::State& state) {
+  attention_forward_bench(state, /*fused=*/true);
+}
+BENCHMARK(BM_AttentionFused)->Arg(64)->Arg(256)->Arg(512);
+
+static void BM_AttentionUnfused(benchmark::State& state) {
+  attention_forward_bench(state, /*fused=*/false);
+}
+BENCHMARK(BM_AttentionUnfused)->Arg(64)->Arg(256)->Arg(512);
 
 static void BM_AttentionBackward(benchmark::State& state) {
   util::Rng rng(6);

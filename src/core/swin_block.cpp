@@ -46,6 +46,10 @@ Tensor SwinBlock4d::forward_impl(const Tensor& x) {
 
   // ---- attention branch: z_hat = (S)W-MSA(LN(z)) + z -------------------
   // LayerNorm acts on channels-last tokens; windowing produces that layout.
+  // In inference (no grad recording) the window attention below streams
+  // through the fused flash-style kernel — the cached [groups, N, N]
+  // shifted-window mask feeds it as a per-(batch × head) additive bias and
+  // the [B·nW, heads, N, N] score tensor is never materialized.
   Tensor shifted_x = any_shift ? cyclic_shift(x, shift) : x;
   Tensor tokens = window_partition(shifted_x, window_);  // [B*nW, N, C]
   Tensor normed = norm1_->forward(tokens);
@@ -69,7 +73,10 @@ Tensor SwinBlock4d::forward_impl(const Tensor& x) {
 }
 
 Tensor SwinBlock4d::forward(const Tensor& x, bool use_checkpoint) {
-  if (!use_checkpoint) return forward_impl(x);
+  // Checkpointing only pays during training; nn::checkpoint itself no-ops
+  // with autograd off, so this early-out only skips assembling the lambda
+  // and the parameters() list for a wrapper that would do nothing.
+  if (!use_checkpoint || !tensor::grad_enabled()) return forward_impl(x);
   return nn::checkpoint(
       [this](const std::vector<Tensor>& inputs) {
         return forward_impl(inputs[0]);

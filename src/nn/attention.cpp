@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "nn/checkpoint.hpp"
 #include "tensor/kernels.hpp"
 
 namespace coastal::nn {
@@ -67,6 +68,39 @@ Tensor merge_heads(const Tensor& x) {
       });
 }
 
+Tensor fused_attention(const Tensor& q, const Tensor& k, const Tensor& v,
+                       const Tensor& mask, float scale) {
+  COASTAL_CHECK(q.ndim() == 4 && k.shape() == q.shape() &&
+                v.shape() == q.shape());
+  const int64_t B = q.shape()[0];
+  const int64_t heads = q.shape()[1];
+  const int64_t N = q.shape()[2];
+  const int64_t hd = q.shape()[3];
+  const int64_t nbatch = B * heads;
+
+  // Per-(batch × head) additive-bias offsets: batch b uses mask group
+  // b % groups (window index is the fastest-varying component of B).
+  const float* mask_ptr = nullptr;
+  std::vector<int64_t> mask_off;
+  if (mask.defined()) {
+    COASTAL_CHECK(mask.ndim() == 3 && mask.shape()[1] == N &&
+                  mask.shape()[2] == N);
+    const int64_t groups = mask.shape()[0];
+    COASTAL_CHECK_MSG(B % groups == 0,
+                      "attention mask groups " << groups
+                                               << " do not divide batch " << B);
+    mask_ptr = mask.raw();
+    mask_off.resize(static_cast<size_t>(nbatch));
+    for (int64_t e = 0; e < nbatch; ++e)
+      mask_off[static_cast<size_t>(e)] = ((e / heads) % groups) * N * N;
+  }
+
+  std::vector<float> out(static_cast<size_t>(nbatch * N * hd));
+  ker::attention_fused(q.raw(), k.raw(), v.raw(), out.data(), nbatch, N, N,
+                       hd, scale, mask_ptr, mask_off);
+  return Tensor::from_vector({B, heads, N, hd}, std::move(out));
+}
+
 MultiHeadSelfAttention::MultiHeadSelfAttention(int64_t dim, int64_t heads,
                                                util::Rng& rng)
     : dim_(dim), heads_(heads), head_dim_(dim / heads) {
@@ -90,24 +124,44 @@ Tensor MultiHeadSelfAttention::forward(const Tensor& x,
   Tensor k = split_qkv_head(qkv, heads_, 1);
   Tensor v = split_qkv_head(qkv, heads_, 2);
 
-  Tensor scores =
-      q.matmul(k.transpose_last()).mul_scalar(scale_);  // [B, h, N, N]
-
   if (mask.defined()) {
     COASTAL_CHECK(mask.ndim() == 3 && mask.shape()[1] == N &&
                   mask.shape()[2] == N);
-    const int64_t groups = mask.shape()[0];
-    COASTAL_CHECK_MSG(B % groups == 0,
-                      "attention mask groups " << groups
+    COASTAL_CHECK_MSG(B % mask.shape()[0] == 0,
+                      "attention mask groups " << mask.shape()[0]
                                                << " do not divide batch " << B);
-    const int64_t rep = B / groups;
-    Tensor s5 = scores.reshape({rep, groups, heads_, N, N});
-    Tensor m5 = mask.reshape({1, groups, 1, N, N});
-    scores = s5.add(m5).reshape({B, heads_, N, N});
   }
 
-  Tensor attn = scores.softmax_lastdim();
-  Tensor out = attn.matmul(v);                     // [B, h, N, d]
+  // Inference forwards (nothing records a graph) stream through the fused
+  // flash-style kernel once the window is big enough to amortize its
+  // per-block bookkeeping.  Training forwards — and tiny windows — take
+  // the unfused path below, which materializes the score tensor and
+  // doubles as the autograd backward / reference implementation.  Inside a
+  // checkpoint region's initial pass the unfused path is kept even though
+  // recording is off, so the saved output matches the backward recompute.
+  auto carries_graph = [](const Tensor& t) {
+    return t.defined() && (t.requires_grad() || t.has_grad_fn());
+  };
+  const bool recording =
+      tensor::grad_enabled() && (carries_graph(qkv) || carries_graph(mask));
+  Tensor out;  // [B, h, N, d]
+  if (!recording && !inside_checkpoint_region() &&
+      N >= ker::config().attn_fused_min_n) {
+    out = fused_attention(q, k, v, mask, scale_);
+  } else {
+    Tensor scores =
+        q.matmul(k.transpose_last()).mul_scalar(scale_);  // [B, h, N, N]
+
+    if (mask.defined()) {
+      const int64_t groups = mask.shape()[0];
+      Tensor s5 = scores.reshape({B / groups, groups, heads_, N, N});
+      Tensor m5 = mask.reshape({1, groups, 1, N, N});
+      scores = s5.add(m5).reshape({B, heads_, N, N});
+    }
+
+    Tensor attn = scores.softmax_lastdim();
+    out = attn.matmul(v);
+  }
   out = merge_heads(out);                          // [B, N, C]
   return proj_->forward(out);
 }

@@ -25,6 +25,17 @@ Tensor split_qkv_head(const Tensor& qkv, int64_t heads, int which);
 /// gather (and its backward into one gather too).  Differentiable.
 Tensor merge_heads(const Tensor& x);
 
+/// Flash-style fused scaled-dot-product attention forward.  q/k/v are
+/// [B, heads, N, d]; `mask` (optional) is the additive [groups, N, N]
+/// window bias with groups dividing B (window index fastest-varying in B,
+/// as produced by window partitioning).  Streams K/V blocks through
+/// `tensor::kernels::attention_fused`, never materializing the
+/// [B, heads, N, N] score tensor.  **Inference-only**: the result carries
+/// no autograd graph — training forwards must use the unfused reference
+/// path (see MultiHeadSelfAttention::forward, which routes automatically).
+Tensor fused_attention(const Tensor& q, const Tensor& k, const Tensor& v,
+                       const Tensor& mask, float scale);
+
 class MultiHeadSelfAttention : public Module {
  public:
   /// `dim` must be divisible by `heads`.

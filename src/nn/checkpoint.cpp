@@ -2,6 +2,20 @@
 
 namespace coastal::nn {
 
+namespace {
+
+thread_local bool t_in_checkpoint = false;
+
+struct CheckpointRegionGuard {
+  bool prev = t_in_checkpoint;
+  CheckpointRegionGuard() { t_in_checkpoint = true; }
+  ~CheckpointRegionGuard() { t_in_checkpoint = prev; }
+};
+
+}  // namespace
+
+bool inside_checkpoint_region() { return t_in_checkpoint; }
+
 Tensor checkpoint(const std::function<Tensor(const std::vector<Tensor>&)>& fn,
                   const std::vector<Tensor>& inputs,
                   const std::vector<Tensor>& params) {
@@ -13,6 +27,7 @@ Tensor checkpoint(const std::function<Tensor(const std::vector<Tensor>&)>& fn,
   std::vector<float> out_data;
   {
     tensor::NoGradGuard ng;
+    CheckpointRegionGuard region;  // keep inference-only fast paths off
     Tensor out = fn(inputs);
     out_shape = out.shape();
     out_data.assign(out.data().begin(), out.data().end());

@@ -32,4 +32,12 @@ Tensor checkpoint(const std::function<Tensor(const std::vector<Tensor>&)>& fn,
                   const std::vector<Tensor>& inputs,
                   const std::vector<Tensor>& params = {});
 
+/// True while the calling thread is inside a checkpoint region's initial
+/// (recording-disabled) forward.  Ops that offer a faster inference-only
+/// path (e.g. fused attention) must not take it there: the backward-time
+/// recompute runs with recording enabled and would rebuild the region from
+/// the reference path, so the saved output has to come from the reference
+/// path too or gradients drift against the stored activations.
+bool inside_checkpoint_region();
+
 }  // namespace coastal::nn

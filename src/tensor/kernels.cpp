@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <thread>
 
 #include "parallel/thread_pool.hpp"
@@ -212,6 +213,233 @@ void gemm_batched(const float* A, const float* B, float* C, int64_t m,
       gemm_rowblock(A + a_off[static_cast<size_t>(b)] + i0 * k,
                     B + b_off[static_cast<size_t>(b)], C + b * m * n + i0 * n,
                     mb, k, n, cfg);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Fused attention
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Branch-free expf for the fused-attention epilogue: exp(x) = 2^k · e^t
+/// with k = rint(x·log2 e) and t = (x·log2 e − k)·ln 2 ∈ [−½ln 2, ½ln 2],
+/// e^t by a degree-7 Taylor polynomial (relative error ≲ 2e−7).  Unlike
+/// libm's expf this contains no call and no branch, so GCC/Clang
+/// vectorize the epilogue loop it sits in — and expf is the single
+/// hottest instruction stream in attention at Swin window sizes.
+///
+/// Semantics the online softmax relies on (arguments are ≤ 0 or NaN,
+/// since the running row max has been subtracted):
+///  * NaN in → NaN out (restored by the final select), so a poisoned
+///    score row still poisons the row sum exactly like std::exp.
+///  * x < −104 (where real expf is subnormal-or-zero) → exactly 0, so
+///    −inf and −1e9 window-mask scores contribute zero weight; a fully
+///    −inf row then finishes with sum 0 and 0/0 = NaN like the unfused
+///    softmax, instead of renormalizing the clamp floor into a spurious
+///    uniform distribution.
+inline float fast_expf(float x) {
+  constexpr float kLog2e = 1.44269504088896341f;
+  constexpr float kLn2 = 0.6931471805599453f;
+  const float z = std::min(std::max(x * kLog2e, -126.0f), 126.0f);
+  const float kf = std::nearbyint(z);
+  const float t = (z - kf) * kLn2;
+  // e^t, Horner degree 7.
+  float p = 1.0f / 5040.0f;
+  p = p * t + 1.0f / 720.0f;
+  p = p * t + 1.0f / 120.0f;
+  p = p * t + 1.0f / 24.0f;
+  p = p * t + 1.0f / 6.0f;
+  p = p * t + 0.5f;
+  p = p * t + 1.0f;
+  p = p * t + 1.0f;
+  // 2^k via exponent bits; kf ∈ [-126, 126] so the shift never overflows.
+  // NaN input survives the clamp (std::max/min keep a NaN first operand),
+  // and casting NaN to int is UB — route it through 0; the final select
+  // restores NaN regardless, and this stays a branchless blend.
+  const int32_t ki = static_cast<int32_t>(kf == kf ? kf : 0.0f);
+  float two_k;
+  const int32_t bits = (ki + 127) << 23;
+  std::memcpy(&two_k, &bits, sizeof(two_k));
+  float r = p * two_k;
+  r = x < -104.0f ? 0.0f : r;  // flush the clamp floor to a true zero
+  return x != x ? x : r;       // preserve NaN
+}
+
+/// Per-thread fused-attention scratch: packed K^T block, score block, and
+/// the online-softmax state (row max, row sum, output accumulator).
+thread_local std::vector<float> t_attn_kt;
+thread_local std::vector<float> t_attn_s;
+thread_local std::vector<float> t_attn_stat;
+
+/// Reduction lane count for the block max / row sum below — one AVX-512
+/// vector of floats.  Lane decomposition is fixed at compile time, so the
+/// (re)association pattern is identical on every host and thread count.
+constexpr int kAttnLanes = 16;
+
+/// One (batch entry, query row block) of flash attention.  KV blocks are
+/// consumed in ascending order and every reduction (over d in the score
+/// dot, over lanes in the max/sum scans, over blocks in the recurrence)
+/// has a fixed order, so the result is independent of how tasks are
+/// scheduled across threads.
+///
+/// `D` is the compile-time head dim for the hot instantiations (the
+/// d-loops fully unroll and the output accumulator row lives in vector
+/// registers across the V sweep); `D == 0` is the runtime-d fallback.
+template <int D>
+void attention_task(const float* Qb, const float* Kb, const float* Vb,
+                    float* Ob, const float* mrow, int64_t rows, int64_t nkv,
+                    int64_t rt_d, float scale, int64_t bc_max) {
+  const int64_t d = D > 0 ? D : rt_d;
+  t_attn_kt.resize(static_cast<size_t>(d * bc_max));
+  t_attn_s.resize(static_cast<size_t>(rows * bc_max));
+  t_attn_stat.resize(static_cast<size_t>(rows * (d + 2)));
+  float* kt = t_attn_kt.data();
+  float* s = t_attn_s.data();
+  float* m = t_attn_stat.data();          // running row max
+  float* l = m + rows;                    // running row sum of exp
+  float* acc = l + rows;                  // [rows, d] output accumulator
+  constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+  std::fill(m, m + rows, kNegInf);
+  std::fill(l, l + rows, 0.0f);
+  std::fill(acc, acc + rows * d, 0.0f);
+
+  for (int64_t kv0 = 0; kv0 < nkv; kv0 += bc_max) {
+    const int64_t bc = std::min(bc_max, nkv - kv0);
+    // Pack the K block transposed so the score micro-kernel's inner loop
+    // runs contiguously over j lanes (no reassociated reductions).
+    for (int64_t j = 0; j < bc; ++j) {
+      const float* krow = Kb + (kv0 + j) * d;
+      for (int64_t dd = 0; dd < d; ++dd) kt[dd * bc + j] = krow[dd];
+    }
+    for (int64_t i = 0; i < rows; ++i) {
+      float* __restrict srow = s + i * bc_max;
+      std::fill(srow, srow + bc, 0.0f);
+      const float* qrow = Qb + i * d;
+      for (int64_t dd = 0; dd < d; ++dd) {
+        const float qv = qrow[dd];
+        const float* __restrict krow = kt + dd * bc;
+        for (int64_t j = 0; j < bc; ++j) srow[j] += qv * krow[j];
+      }
+      if (mrow != nullptr) {
+        const float* mk = mrow + i * nkv + kv0;
+        for (int64_t j = 0; j < bc; ++j) srow[j] = srow[j] * scale + mk[j];
+      } else {
+        for (int64_t j = 0; j < bc; ++j) srow[j] *= scale;
+      }
+      // Online softmax: new block max, rescale old stats by
+      // alpha = exp(m_old - m_new), fold in the fresh exponentials.
+      // NaN scores fall out of std::max (as in softmax_rows) but poison
+      // the row sum through exp(NaN), matching unfused semantics.  Max is
+      // exact under any association, so the lane split never changes the
+      // result on NaN-free rows (a NaN row is wholly poisoned anyway).
+      float bm = m[i];
+      {
+        float part[kAttnLanes];
+        for (int u = 0; u < kAttnLanes; ++u) part[u] = kNegInf;
+        int64_t j = 0;
+        for (; j + kAttnLanes <= bc; j += kAttnLanes)
+          for (int u = 0; u < kAttnLanes; ++u)
+            part[u] = std::max(part[u], srow[j + u]);
+        for (int u = 0; u < kAttnLanes; ++u) bm = std::max(bm, part[u]);
+        for (; j < bc; ++j) bm = std::max(bm, srow[j]);
+      }
+      // While the running max is still -inf (every key so far masked with
+      // -inf), subtract 0 instead: exp(-inf - -inf) would manufacture NaN
+      // where the reference softmax — whose max spans the whole row —
+      // yields weight 0.  A NaN score still reaches the exp (NaN - 0 is
+      // NaN), so NaN rows stay poisoned; an all -inf row ends with
+      // l = 0 and finishes as 0/0 = NaN, exactly like the reference.
+      const float bm_eff = bm == kNegInf ? 0.0f : bm;
+      const float alpha = fast_expf(m[i] - bm_eff);
+      m[i] = bm;
+      // Elementwise exp first (vectorizes: fast_expf is branch-free), then
+      // the lane-strided row sum — a single serial chain would bottleneck
+      // on add latency, and fusing the sum into the exp loop would
+      // serialize that loop too.
+      for (int64_t j = 0; j < bc; ++j) srow[j] = fast_expf(srow[j] - bm_eff);
+      float rowsum = 0.0f;
+      {
+        float part[kAttnLanes] = {};
+        int64_t j = 0;
+        for (; j + kAttnLanes <= bc; j += kAttnLanes)
+          for (int u = 0; u < kAttnLanes; ++u) part[u] += srow[j + u];
+        for (int u = 0; u < kAttnLanes; ++u) rowsum += part[u];
+        for (; j < bc; ++j) rowsum += srow[j];
+      }
+      l[i] = alpha * l[i] + rowsum;
+      // acc[i, :] = alpha · acc[i, :] + P · V_block, with two independent
+      // fma chains over j to hide the accumulator latency.  Chain results
+      // combine in a fixed order, so this too is schedule-independent.
+      float* __restrict arow = acc + i * d;
+      const float* __restrict vblock = Vb + kv0 * d;
+      if constexpr (D > 0) {
+        float a0[D] = {}, a1[D] = {};
+        int64_t j = 0;
+        for (; j + 2 <= bc; j += 2) {
+          const float p0 = srow[j], p1 = srow[j + 1];
+          const float* v0 = vblock + j * D;
+          const float* v1 = v0 + D;
+          for (int dd = 0; dd < D; ++dd) a0[dd] += p0 * v0[dd];
+          for (int dd = 0; dd < D; ++dd) a1[dd] += p1 * v1[dd];
+        }
+        if (j < bc) {
+          const float p0 = srow[j];
+          const float* v0 = vblock + j * D;
+          for (int dd = 0; dd < D; ++dd) a0[dd] += p0 * v0[dd];
+        }
+        for (int dd = 0; dd < D; ++dd)
+          arow[dd] = arow[dd] * alpha + (a0[dd] + a1[dd]);
+      } else {
+        for (int64_t dd = 0; dd < d; ++dd) arow[dd] *= alpha;
+        for (int64_t j = 0; j < bc; ++j) {
+          const float p = srow[j];
+          const float* vrow = vblock + j * d;
+          for (int64_t dd = 0; dd < d; ++dd) arow[dd] += p * vrow[dd];
+        }
+      }
+    }
+  }
+  for (int64_t i = 0; i < rows; ++i) {
+    const float inv = 1.0f / l[i];
+    const float* arow = acc + i * d;
+    float* orow = Ob + i * d;
+    for (int64_t dd = 0; dd < d; ++dd) orow[dd] = arow[dd] * inv;
+  }
+}
+
+}  // namespace
+
+void attention_fused(const float* Q, const float* K, const float* V, float* O,
+                     int64_t nbatch, int64_t nq, int64_t nkv, int64_t d,
+                     float scale, const float* mask,
+                     const std::vector<int64_t>& mask_off) {
+  if (nbatch <= 0 || nq <= 0 || nkv <= 0 || d <= 0) return;
+  const KernelConfig& cfg = config();
+  const int64_t bq = std::max<int64_t>(1, cfg.attn_bq);
+  const int64_t bc_max = std::min(std::max<int64_t>(1, cfg.attn_bkv), nkv);
+  const int64_t qblocks = ceil_div(nq, bq);
+  // Head-dim specialization: path choice depends only on d, never on
+  // thread count, so serial and parallel runs stay bitwise identical.
+  auto task = attention_task<0>;
+  switch (d) {
+    case 4: task = attention_task<4>; break;
+    case 8: task = attention_task<8>; break;
+    case 16: task = attention_task<16>; break;
+    case 32: task = attention_task<32>; break;
+    case 64: task = attention_task<64>; break;
+    default: break;
+  }
+  parallel_for(nbatch * qblocks, 2 * bq * nkv * d, [&](int64_t lo, int64_t hi) {
+    for (int64_t t = lo; t < hi; ++t) {
+      const int64_t b = t / qblocks;
+      const int64_t q0 = (t % qblocks) * bq;
+      const int64_t rows = std::min(bq, nq - q0);
+      const float* mrow =
+          mask ? mask + mask_off[static_cast<size_t>(b)] + q0 * nkv : nullptr;
+      task(Q + (b * nq + q0) * d, K + b * nkv * d, V + b * nkv * d,
+           O + (b * nq + q0) * d, mrow, rows, nkv, d, scale, bc_max);
     }
   });
 }

@@ -55,6 +55,20 @@ struct KernelConfig {
   /// Chunk oversubscription factor (chunks ≈ factor × threads) for load
   /// balance on ragged loops.
   int oversubscribe = 4;
+
+  // Fused (flash-style) attention blocking.  One task owns a Bq-row block
+  // of queries for one (batch × head) entry and streams Bkv-row blocks of
+  // K/V through the online-softmax recurrence — the [N, N] score matrix is
+  // never materialized.
+  int64_t attn_bq = 64;    ///< query rows per task block
+  int64_t attn_bkv = 128;  ///< K/V rows streamed per inner block
+
+  /// `nn::MultiHeadSelfAttention` routes inference forwards through the
+  /// fused kernel only when the token count N is at least this; below it
+  /// the unfused reference path wins (per-block bookkeeping dominates at
+  /// tiny windows).  Training forwards always take the unfused path, which
+  /// doubles as the autograd backward.
+  int64_t attn_fused_min_n = 32;
 };
 
 KernelConfig& config();
@@ -90,6 +104,32 @@ void gemm_batched(const float* A, const float* B, float* C, int64_t m,
                   int64_t k, int64_t n, int64_t nbatch,
                   const std::vector<int64_t>& a_off,
                   const std::vector<int64_t>& b_off);
+
+// ---------------------------------------------------------------------------
+// Fused attention
+// ---------------------------------------------------------------------------
+
+/// Flash-style fused attention forward:
+///
+///   O[b, i, :] = softmax_j(scale · Q[b, i, :]·K[b, j, :] + M[b, i, j]) · V[b, j, :]
+///
+/// Q: [nbatch, nq, d], K/V: [nbatch, nkv, d], O: [nbatch, nq, d], all
+/// contiguous row-major (nbatch is typically batch × heads).  `mask` is an
+/// optional additive bias: when non-null, row i of batch entry b reads
+/// `mask + mask_off[b] + i·nkv`, so broadcast over batch entries is encoded
+/// by repeated offsets (the Swin [groups, N, N] window mask).
+///
+/// K/V are streamed in `attn_bkv`-row blocks through a packed-K^T
+/// micro-kernel; the online row-max / row-sum recurrence rescales the
+/// output accumulator per block, so the [nq, nkv] score matrix is never
+/// materialized.  Each output row is produced by exactly one task and KV
+/// blocks are consumed in a fixed ascending order, so results are bitwise
+/// identical across thread counts.  NaN/Inf anywhere in a score row
+/// poisons that output row exactly as the unfused softmax does.
+void attention_fused(const float* Q, const float* K, const float* V, float* O,
+                     int64_t nbatch, int64_t nq, int64_t nkv, int64_t d,
+                     float scale, const float* mask,
+                     const std::vector<int64_t>& mask_off);
 
 // ---------------------------------------------------------------------------
 // Row-wise fused ops (softmax / layer norm); parallel over rows.

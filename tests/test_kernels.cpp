@@ -287,6 +287,279 @@ TEST(Kernels, AttentionForwardGradcheckThroughFusedPath) {
       [&](const Tensor& t) { return attn.forward(t).mul(t).sum(); }, x);
 }
 
+// ---------------------------------------------------------------------------
+// Fused (flash-style) attention
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Unfused reference: materialize scores, softmax, weighted sum — the same
+/// tensor-op chain the training path records.  q/k/v are [B, h, N, d];
+/// mask (optional) is the additive [groups, N, N] window bias.
+Tensor reference_attention(const Tensor& q, const Tensor& k, const Tensor& v,
+                           const Tensor& mask, float scale) {
+  const int64_t B = q.shape()[0], h = q.shape()[1], N = q.shape()[2];
+  Tensor scores = q.matmul(k.transpose_last()).mul_scalar(scale);
+  if (mask.defined()) {
+    const int64_t groups = mask.shape()[0];
+    Tensor s5 = scores.reshape({B / groups, groups, h, N, N});
+    Tensor m5 = mask.reshape({1, groups, 1, N, N});
+    scores = s5.add(m5).reshape({B, h, N, N});
+  }
+  return scores.softmax_lastdim().matmul(v);
+}
+
+/// Drive kernels::attention_fused on [B, h, N, d] tensors, mirroring the
+/// per-(batch × head) mask-offset layout nn::fused_attention builds.
+Tensor run_fused(const Tensor& q, const Tensor& k, const Tensor& v,
+                 const Tensor& mask, float scale) {
+  const int64_t B = q.shape()[0], h = q.shape()[1], N = q.shape()[2],
+                d = q.shape()[3];
+  const int64_t nb = B * h;
+  std::vector<float> out(static_cast<size_t>(nb * N * d));
+  std::vector<int64_t> moff;
+  const float* mp = nullptr;
+  if (mask.defined()) {
+    const int64_t groups = mask.shape()[0];
+    moff.resize(static_cast<size_t>(nb));
+    for (int64_t e = 0; e < nb; ++e) moff[e] = ((e / h) % groups) * N * N;
+    mp = mask.raw();
+  }
+  ker::attention_fused(q.raw(), k.raw(), v.raw(), out.data(), nb, N, N, d,
+                       scale, mp, moff);
+  return Tensor::from_vector({B, h, N, d}, std::move(out));
+}
+
+}  // namespace
+
+TEST(Kernels, FusedAttentionMatchesReferenceAcrossOddShapes) {
+  util::Rng rng(30);
+  tensor::NoGradGuard ng;
+  coastal::testing::KernelConfigOverride guard;
+  // Small blocks so even short sequences cross query/KV block boundaries.
+  ker::config().attn_bq = 8;
+  ker::config().attn_bkv = 16;
+  // Odd / non-power-of-two N straddling both block sizes; odd head dim.
+  const int64_t seqs[] = {1, 3, 17, 33, 97};
+  for (int64_t N : seqs) {
+    const int64_t B = 2, h = 3, d = 5;
+    Tensor q = Tensor::randn({B, h, N, d}, rng);
+    Tensor k = Tensor::randn({B, h, N, d}, rng);
+    Tensor v = Tensor::randn({B, h, N, d}, rng);
+    const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+    Tensor got = run_fused(q, k, v, Tensor(), scale);
+    Tensor want = reference_attention(q, k, v, Tensor(), scale);
+    ASSERT_EQ(got.shape(), want.shape());
+    EXPECT_LT(coastal::testing::max_abs_diff(got, want), 1e-5) << "N=" << N;
+  }
+}
+
+TEST(Kernels, FusedAttentionMaskedWindowsMatchReference) {
+  util::Rng rng(31);
+  tensor::NoGradGuard ng;
+  coastal::testing::KernelConfigOverride guard;
+  ker::config().attn_bq = 4;
+  ker::config().attn_bkv = 8;
+  // B = rep * groups with window index fastest-varying; the -1e9 entries
+  // reproduce the shifted-window cross-boundary mask pattern.
+  const int64_t groups = 2, rep = 2, B = rep * groups, h = 2, N = 21, d = 6;
+  Tensor q = Tensor::randn({B, h, N, d}, rng);
+  Tensor k = Tensor::randn({B, h, N, d}, rng);
+  Tensor v = Tensor::randn({B, h, N, d}, rng);
+  std::vector<float> mdata(static_cast<size_t>(groups * N * N), 0.0f);
+  for (int64_t g = 0; g < groups; ++g)
+    for (int64_t i = 0; i < N; ++i)
+      for (int64_t j = 0; j < N; ++j)
+        // Group 0: block-diagonal halves; group 1: forbid a column stripe.
+        if ((g == 0 && (i < N / 2) != (j < N / 2)) || (g == 1 && j % 5 == 2))
+          mdata[static_cast<size_t>((g * N + i) * N + j)] = -1e9f;
+  Tensor mask = Tensor::from_vector({groups, N, N}, std::move(mdata));
+  const float scale = 0.4f;
+  Tensor got = run_fused(q, k, v, mask, scale);
+  Tensor want = reference_attention(q, k, v, mask, scale);
+  EXPECT_LT(coastal::testing::max_abs_diff(got, want), 1e-5);
+  // Fully-masked scores must not leak weight: disallowed columns get
+  // softmax mass ~e^-1e9 = 0, so rows still sum to the allowed mass only.
+  EXPECT_TRUE(std::isfinite(got.at({0, 0, 0, 0})));
+}
+
+TEST(Kernels, FusedAttentionPropagatesNaNAndInf) {
+  util::Rng rng(32);
+  tensor::NoGradGuard ng;
+  coastal::testing::KernelConfigOverride guard;
+  ker::config().attn_bq = 8;
+  ker::config().attn_bkv = 8;
+  const int64_t B = 1, h = 1, N = 20, d = 4;
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  const float scale = 0.5f;
+
+  // NaN in one query row poisons exactly that output row (every score in
+  // the row is NaN), and no other row.
+  {
+    Tensor q = Tensor::randn({B, h, N, d}, rng);
+    Tensor k = Tensor::randn({B, h, N, d}, rng);
+    Tensor v = Tensor::randn({B, h, N, d}, rng);
+    q.set({0, 0, 7, 2}, nan);
+    Tensor got = run_fused(q, k, v, Tensor(), scale);
+    for (int64_t dd = 0; dd < d; ++dd)
+      EXPECT_TRUE(std::isnan(got.at({0, 0, 7, dd}))) << "dd=" << dd;
+    for (int64_t dd = 0; dd < d; ++dd)
+      EXPECT_TRUE(std::isfinite(got.at({0, 0, 6, dd}))) << "dd=" << dd;
+  }
+  // NaN in one key row lands in every score row: the whole batch entry
+  // goes NaN, matching the unfused softmax (NaN denom poisons the row).
+  {
+    Tensor q = Tensor::randn({B, h, N, d}, rng);
+    Tensor k = Tensor::randn({B, h, N, d}, rng);
+    Tensor v = Tensor::randn({B, h, N, d}, rng);
+    k.set({0, 0, 13, 1}, nan);
+    Tensor got = run_fused(q, k, v, Tensor(), scale);
+    for (int64_t i = 0; i < N; ++i)
+      EXPECT_TRUE(std::isnan(got.at({0, 0, i, 0}))) << "row " << i;
+  }
+  // NaN in a value row reaches every output row through the (always
+  // positive) softmax weights.
+  {
+    Tensor q = Tensor::randn({B, h, N, d}, rng);
+    Tensor k = Tensor::randn({B, h, N, d}, rng);
+    Tensor v = Tensor::randn({B, h, N, d}, rng);
+    v.set({0, 0, 5, 3}, nan);
+    Tensor got = run_fused(q, k, v, Tensor(), scale);
+    for (int64_t i = 0; i < N; ++i)
+      EXPECT_TRUE(std::isnan(got.at({0, 0, i, 3}))) << "row " << i;
+    EXPECT_TRUE(std::isfinite(got.at({0, 0, 0, 0})));
+  }
+  // A +inf score turns the row into NaN in the unfused softmax
+  // (exp(inf - inf)); the online recurrence must agree, not silently
+  // renormalize it away.
+  {
+    Tensor q = Tensor::zeros({B, h, N, d});
+    Tensor k = Tensor::zeros({B, h, N, d});
+    Tensor v = Tensor::ones({B, h, N, d});
+    q.set({0, 0, 2, 0}, inf);
+    k.set({0, 0, 9, 0}, 1.0f);  // score(2, 9) = inf
+    Tensor got = run_fused(q, k, v, Tensor(), scale);
+    Tensor want = reference_attention(q, k, v, Tensor(), scale);
+    for (int64_t i = 0; i < N; ++i)
+      EXPECT_EQ(std::isnan(got.at({0, 0, i, 0})),
+                std::isnan(want.at({0, 0, i, 0})))
+          << "row " << i;
+    for (int64_t dd = 0; dd < d; ++dd)
+      EXPECT_TRUE(std::isnan(got.at({0, 0, 2, dd})));
+  }
+}
+
+TEST(Kernels, FusedAttentionInfMaskFullyMaskedBlocksMatchReference) {
+  // The conventional additive mask uses -inf, not -1e9.  A query row whose
+  // leading KV blocks are *entirely* -inf must not NaN-poison the online
+  // recurrence (exp(-inf - -inf)): the reference softmax, whose max spans
+  // the whole row, gives those keys weight 0 and a finite result.
+  util::Rng rng(36);
+  tensor::NoGradGuard ng;
+  coastal::testing::KernelConfigOverride guard;
+  ker::config().attn_bq = 8;
+  ker::config().attn_bkv = 8;
+  const int64_t B = 1, h = 2, N = 40, d = 6;
+  const float inf = std::numeric_limits<float>::infinity();
+  Tensor q = Tensor::randn({B, h, N, d}, rng);
+  Tensor k = Tensor::randn({B, h, N, d}, rng);
+  Tensor v = Tensor::randn({B, h, N, d}, rng);
+  std::vector<float> mdata(static_cast<size_t>(N * N), 0.0f);
+  // Every row: first 24 keys (= 3 full KV blocks) disallowed.
+  for (int64_t i = 0; i < N; ++i)
+    for (int64_t j = 0; j < 24; ++j)
+      mdata[static_cast<size_t>(i * N + j)] = -inf;
+  // Row 11: *all* keys disallowed — both paths must yield NaN (0/0).
+  for (int64_t j = 0; j < N; ++j)
+    mdata[static_cast<size_t>(11 * N + j)] = -inf;
+  Tensor mask = Tensor::from_vector({1, N, N}, std::move(mdata));
+  Tensor got = run_fused(q, k, v, mask, 0.5f);
+  Tensor want = reference_attention(q, k, v, mask, 0.5f);
+  for (int64_t hh = 0; hh < h; ++hh) {
+    for (int64_t dd = 0; dd < d; ++dd) {
+      EXPECT_TRUE(std::isnan(got.at({0, hh, 11, dd})));
+      EXPECT_TRUE(std::isnan(want.at({0, hh, 11, dd})));
+    }
+    for (int64_t i = 0; i < N; ++i) {
+      if (i == 11) continue;
+      for (int64_t dd = 0; dd < d; ++dd) {
+        const double g = got.at({0, hh, i, dd}), w = want.at({0, hh, i, dd});
+        EXPECT_TRUE(std::isfinite(g)) << "row " << i;
+        EXPECT_NEAR(g, w, 1e-5) << "row " << i << " dd " << dd;
+      }
+    }
+  }
+}
+
+TEST(Kernels, FusedAttentionSerialVsParallelBitwise) {
+  util::Rng rng(33);
+  tensor::NoGradGuard ng;
+  const int64_t B = 3, h = 2, N = 70, d = 8;
+  Tensor q = Tensor::randn({B, h, N, d}, rng);
+  Tensor k = Tensor::randn({B, h, N, d}, rng);
+  Tensor v = Tensor::randn({B, h, N, d}, rng);
+  Tensor mask;
+  {
+    std::vector<float> mdata(static_cast<size_t>(3 * N * N), 0.0f);
+    for (size_t i = 0; i < mdata.size(); i += 7) mdata[i] = -1e9f;
+    mask = Tensor::from_vector({3, N, N}, std::move(mdata));
+  }
+  coastal::testing::KernelConfigOverride guard;
+  ker::config().attn_bq = 16;  // several tasks per batch entry
+  ker::config().attn_bkv = 32;
+  ker::config().num_threads = 1;
+  Tensor serial = run_fused(q, k, v, mask, 0.3f);
+  ker::config().num_threads = 8;
+  ker::config().parallel_grain = 1;  // force chunked dispatch
+  Tensor parallel = run_fused(q, k, v, mask, 0.3f);
+  ASSERT_EQ(serial.shape(), parallel.shape());
+  EXPECT_EQ(std::memcmp(serial.raw(), parallel.raw(),
+                        static_cast<size_t>(serial.numel()) * sizeof(float)),
+            0);
+}
+
+TEST(Kernels, AttentionModuleRoutesFusedAndUnfusedConsistently) {
+  util::Rng rng(34);
+  nn::MultiHeadSelfAttention attn(24, 4, rng);
+  const int64_t B = 4, N = 48;
+  Tensor x = Tensor::randn({B, N, 24}, rng);
+  std::vector<float> mdata(static_cast<size_t>(2 * N * N), 0.0f);
+  for (int64_t i = 0; i < N; ++i)
+    for (int64_t j = 0; j < N; ++j)
+      if ((i + j) % 3 == 0) mdata[static_cast<size_t>((N + i) * N + j)] = -1e9f;
+  Tensor mask = Tensor::from_vector({2, N, N}, std::move(mdata));
+
+  tensor::NoGradGuard ng;
+  coastal::testing::KernelConfigOverride guard;
+  ker::config().attn_fused_min_n = 1;  // force the fused inference path
+  Tensor fused_plain = attn.forward(x);
+  Tensor fused_masked = attn.forward(x, mask);
+  ker::config().attn_fused_min_n = N + 1;  // force the unfused path
+  Tensor unfused_plain = attn.forward(x);
+  Tensor unfused_masked = attn.forward(x, mask);
+  coastal::testing::expect_tensor_near(fused_plain, unfused_plain, 1e-4);
+  coastal::testing::expect_tensor_near(fused_masked, unfused_masked, 1e-4);
+}
+
+TEST(Kernels, AttentionFallbackThresholdKeepsTinyWindowsUnfused) {
+  util::Rng rng(35);
+  nn::MultiHeadSelfAttention attn(16, 2, rng);
+  Tensor x = Tensor::randn({2, 8, 16}, rng);  // N = 8
+  tensor::NoGradGuard ng;
+  coastal::testing::KernelConfigOverride guard;
+  // N below the default threshold: the forward must be bitwise identical
+  // to an explicitly-unfused forward, proving the fallback engaged.
+  ASSERT_LT(8, ker::config().attn_fused_min_n);
+  Tensor below = attn.forward(x);
+  ker::config().attn_fused_min_n = 1000000;
+  Tensor unfused = attn.forward(x);
+  ASSERT_EQ(below.shape(), unfused.shape());
+  EXPECT_EQ(std::memcmp(below.raw(), unfused.raw(),
+                        static_cast<size_t>(below.numel()) * sizeof(float)),
+            0);
+}
+
 TEST(Kernels, MatmulGradcheckThroughBlockedKernel) {
   util::Rng rng(21);
   // Big enough to leave the naive small-GEMM path even without config

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Perf-trajectory check: diff a fresh BENCH_kernels.json against the
+committed baseline and report per-op regressions.
+
+Each record is keyed by (op, size); the comparison metric is ns_per_iter
+(lower is better).  Ops present on only one side are listed but never
+fail the check — benchmarks come and go across PRs.
+
+Exit status: 0 when no op regressed beyond --threshold, 1 otherwise, 2 on
+usage/IO errors.  Typical use:
+
+    ./build/bench_kernels                       # writes ./BENCH_kernels.json
+    python3 tools/bench_diff.py --fresh BENCH_kernels.json
+
+or via the CMake convenience target (runs the bench first):
+
+    cmake --build build --target bench_diff
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def die(message):
+    print(f"bench_diff: {message}", file=sys.stderr)
+    sys.exit(2)  # infrastructure error, distinct from exit 1 = regression
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            records = json.load(f)
+    except (OSError, ValueError) as e:
+        die(f"cannot read {path}: {e}")
+    table = {}
+    for r in records:
+        table[(r["op"], int(r.get("size", 0)))] = float(r["ns_per_iter"])
+    return table
+
+
+def main():
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--baseline",
+        default=os.path.join(repo_root, "BENCH_kernels.json"),
+        help="committed baseline JSON (default: repo-root BENCH_kernels.json)",
+    )
+    ap.add_argument(
+        "--fresh",
+        default="BENCH_kernels.json",
+        help="freshly produced JSON to compare (default: ./BENCH_kernels.json)",
+    )
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=25.0,
+        # Run-to-run noise on the 1-CPU reference host reaches ~15-17% on
+        # the small benches (see BM_MatmulSeedScalar across committed
+        # baselines), so the default must sit clearly above that.
+        help="percent slowdown that counts as a regression (default: 25)",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+
+    common = sorted(set(base) & set(fresh))
+    added = sorted(set(fresh) - set(base))
+    removed = sorted(set(base) - set(fresh))
+    if not common:
+        die("no common (op, size) entries to compare")
+
+    def name(key):
+        op, size = key
+        return f"{op}/{size}" if size else op
+
+    width = max(len(name(k)) for k in common)
+    regressions = []
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'fresh':>12}  {'delta':>8}")
+    for key in common:
+        b, f = base[key], fresh[key]
+        delta = (f - b) / b * 100.0 if b > 0 else 0.0
+        flag = ""
+        if delta > args.threshold:
+            flag = "  << REGRESSION"
+            regressions.append((key, delta))
+        elif delta < -args.threshold:
+            flag = "  (improved)"
+        print(
+            f"{name(key):<{width}}  {b:>10.0f}ns  {f:>10.0f}ns  {delta:>+7.1f}%{flag}"
+        )
+
+    for key in added:
+        print(f"{name(key):<{width}}  {'-':>12}  {fresh[key]:>10.0f}ns  (new)")
+    for key in removed:
+        print(f"{name(key):<{width}}  {base[key]:>10.0f}ns  {'-':>12}  (removed)")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} regression(s) beyond {args.threshold:.0f}%: "
+            + ", ".join(f"{name(k)} {d:+.1f}%" for k, d in regressions)
+        )
+        return 1
+    print(f"\nno regressions beyond {args.threshold:.0f}% "
+          f"({len(common)} benchmarks compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
