@@ -9,8 +9,10 @@
 #include <limits>
 
 #include "bench_common.hpp"
+#include "core/surrogate.hpp"
 #include "core/window4d.hpp"
 #include "nn/attention.hpp"
+#include "nn/optimizer.hpp"
 #include "ocean/bathymetry.hpp"
 #include "ocean/solver.hpp"
 #include "parallel/decomposition.hpp"
@@ -163,16 +165,77 @@ static void BM_AttentionUnfused(benchmark::State& state) {
 }
 BENCHMARK(BM_AttentionUnfused)->Arg(64)->Arg(256)->Arg(512);
 
-static void BM_AttentionBackward(benchmark::State& state) {
+namespace {
+
+/// Full training step of the attention module (forward + backward) with
+/// the fused flash-style path against the unfused reference path.  The
+/// fused variant records only [B, h, N] row statistics and re-streams K/V
+/// blocks in the backward; the unfused variant materializes the
+/// [B, h, N, N] score/attn tensors and their gradients.
+void attention_backward_bench(benchmark::State& state, bool fused) {
+  const int64_t n = state.range(0);
   util::Rng rng(6);
   nn::MultiHeadSelfAttention attn(32, 4, rng);
-  Tensor x = Tensor::randn({4, 32, 32}, rng);
+  Tensor x = Tensor::randn({8, n, 32}, rng);
+  struct ConfigGuard {
+    tensor::kernels::KernelConfig saved = tensor::kernels::config();
+    ~ConfigGuard() { tensor::kernels::config() = saved; }
+  } guard;
+  tensor::kernels::config().attn_fused_min_n =
+      fused ? 1 : std::numeric_limits<int64_t>::max();
   for (auto _ : state) {
     attn.zero_grad();
     attn.forward(x).sum().backward();
   }
+  state.SetLabel("tokens=" + std::to_string(n));
 }
-BENCHMARK(BM_AttentionBackward);
+
+}  // namespace
+
+static void BM_AttentionBackward(benchmark::State& state) {
+  attention_backward_bench(state, /*fused=*/true);
+}
+BENCHMARK(BM_AttentionBackward)->Arg(64)->Arg(256)->Arg(512);
+
+static void BM_AttentionBackwardUnfused(benchmark::State& state) {
+  attention_backward_bench(state, /*fused=*/false);
+}
+BENCHMARK(BM_AttentionBackwardUnfused)->Arg(64)->Arg(256)->Arg(512);
+
+static void BM_TrainStep(benchmark::State& state) {
+  // One optimizer step of the paper's surrogate at miniature scale:
+  // forward + backward + Adam update.  This is the end-to-end number the
+  // attention-backward fusion moves; window volumes (64 tokens at stage 1)
+  // sit above attn_fused_min_n, so training runs the fused kernels.
+  util::Rng rng(10);
+  core::SurrogateConfig cfg;
+  cfg.H = 20;
+  cfg.W = 20;
+  cfg.D = 6;
+  cfg.T = 3;
+  cfg.patch_h = 5;
+  cfg.patch_w = 5;
+  cfg.patch_d = 2;
+  cfg.embed_dim = 8;
+  cfg.stages = 3;
+  cfg.heads = {2, 4, 8};
+  core::SurrogateModel model(cfg, rng);
+  nn::Adam opt(model.parameters(), 1e-3f);
+  util::Rng drng(11);
+  Tensor volume = Tensor::randn({1, 3, 20, 20, 6, 4}, drng);
+  Tensor surface = Tensor::randn({1, 1, 20, 20, 4}, drng);
+  Tensor vt = Tensor::randn({1, 3, 20, 20, 6, 3}, drng);
+  Tensor st = Tensor::randn({1, 1, 20, 20, 3}, drng);
+  for (auto _ : state) {
+    model.zero_grad();
+    auto out = model.forward(volume, surface);
+    tensor::mse_loss(out.volume, vt)
+        .add(tensor::mse_loss(out.surface, st))
+        .backward();
+    opt.step();
+  }
+}
+BENCHMARK(BM_TrainStep);
 
 static void BM_SolverStep(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

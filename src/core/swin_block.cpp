@@ -46,10 +46,14 @@ Tensor SwinBlock4d::forward_impl(const Tensor& x) {
 
   // ---- attention branch: z_hat = (S)W-MSA(LN(z)) + z -------------------
   // LayerNorm acts on channels-last tokens; windowing produces that layout.
-  // In inference (no grad recording) the window attention below streams
-  // through the fused flash-style kernel — the cached [groups, N, N]
-  // shifted-window mask feeds it as a per-(batch × head) additive bias and
-  // the [B·nW, heads, N, N] score tensor is never materialized.
+  // The window attention below streams through the fused flash-style
+  // kernels in inference *and* training (N = window volume >= the fused
+  // threshold) — the cached [groups, N, N] shifted-window mask feeds it as
+  // a per-(batch × head) additive bias, the training graph holds only
+  // [B·nW, heads, N] row statistics, and the [B·nW, heads, N, N] score /
+  // dScore tensors are never materialized on either pass.  Checkpointed
+  // training recomputes through the same fused path, so the saved block
+  // output matches the recompute bitwise.
   Tensor shifted_x = any_shift ? cyclic_shift(x, shift) : x;
   Tensor tokens = window_partition(shifted_x, window_);  // [B*nW, N, C]
   Tensor normed = norm1_->forward(tokens);

@@ -2,12 +2,19 @@
 
 #include <cmath>
 
-#include "nn/checkpoint.hpp"
 #include "tensor/kernels.hpp"
 
 namespace coastal::nn {
 
 namespace ker = tensor::kernels;
+
+namespace {
+
+bool carries_graph(const tensor::Tensor& t) {
+  return t.defined() && (t.requires_grad() || t.has_grad_fn());
+}
+
+}  // namespace
 
 Tensor split_qkv_head(const Tensor& qkv, int64_t heads, int which) {
   COASTAL_CHECK(qkv.ndim() == 3 && which >= 0 && which < 3);
@@ -95,10 +102,68 @@ Tensor fused_attention(const Tensor& q, const Tensor& k, const Tensor& v,
       mask_off[static_cast<size_t>(e)] = ((e / heads) % groups) * N * N;
   }
 
+  // The fused kernels treat the mask as a constant additive bias.  Reject
+  // any recorded mask gradient loudly — even when q/k/v record nothing —
+  // instead of silently returning a graph that never populates mask.grad.
+  COASTAL_CHECK_MSG(!(tensor::grad_enabled() && carries_graph(mask)),
+                    "fused_attention treats the mask as a constant bias; "
+                    "a differentiable mask must take the unfused path");
+  const bool record = tensor::grad_enabled() &&
+                      (carries_graph(q) || carries_graph(k) ||
+                       carries_graph(v));
+
   std::vector<float> out(static_cast<size_t>(nbatch * N * hd));
+  if (!record) {
+    ker::attention_fused(q.raw(), k.raw(), v.raw(), out.data(), nbatch, N, N,
+                         hd, scale, mask_ptr, mask_off);
+    return Tensor::from_vector({B, heads, N, hd}, std::move(out));
+  }
+
+  // Training forward: same kernel, but save the per-row (max, exp-sum)
+  // statistics — 2 floats per query row instead of the N scores the
+  // unfused path stashes — and record a node whose backward re-streams
+  // K/V blocks (kernels::attention_fused_backward).
+  auto stats =
+      std::make_shared<std::vector<float>>(static_cast<size_t>(nbatch * N * 2));
   ker::attention_fused(q.raw(), k.raw(), v.raw(), out.data(), nbatch, N, N,
-                       hd, scale, mask_ptr, mask_off);
-  return Tensor::from_vector({B, heads, N, hd}, std::move(out));
+                       hd, scale, mask_ptr, mask_off, stats->data());
+  // The backward needs O (for Δ = Σ dO∘O), which is exactly this node's
+  // own output.  Capturing the result Tensor would create a node → lambda
+  // → result cycle and leak the graph; copying the buffer (the
+  // softmax_lastdim idiom) would keep a second [B, h, N, d] alive per
+  // layer.  Instead capture a weak reference, filled in after custom_op
+  // returns: the engine only invokes a node's backward through its output
+  // impl, so the lock cannot fail while a legitimate backward runs.
+  auto o_slot = std::make_shared<std::weak_ptr<tensor::TensorImpl>>();
+  Tensor qt = q, kt = k, vt = v, mt = mask;
+  std::vector<Tensor> parents = {q, k, v};
+  if (mask.defined()) parents.push_back(mask);
+  const bool has_mask = mask.defined();
+  Tensor result = tensor::custom_op(
+      {B, heads, N, hd}, std::move(out), "fused_attention",
+      std::move(parents),
+      [qt, kt, vt, mt, o_slot, stats, mask_off, has_mask, nbatch, B, heads,
+       N, hd, scale](const Tensor& g) -> std::vector<Tensor> {
+        const std::shared_ptr<tensor::TensorImpl> o_impl = o_slot->lock();
+        COASTAL_CHECK_MSG(o_impl != nullptr,
+                          "fused_attention backward ran without its output");
+        std::vector<float> dq(static_cast<size_t>(nbatch * N * hd));
+        std::vector<float> dk(static_cast<size_t>(nbatch * N * hd));
+        std::vector<float> dv(static_cast<size_t>(nbatch * N * hd));
+        ker::attention_fused_backward(
+            qt.raw(), kt.raw(), vt.raw(), o_impl->data.data(), g.raw(),
+            stats->data(), dq.data(), dk.data(), dv.data(), nbatch, N, N, hd,
+            scale, has_mask ? mt.raw() : nullptr, mask_off);
+        std::vector<Tensor> grads;
+        grads.reserve(has_mask ? 4 : 3);
+        grads.push_back(Tensor::from_vector({B, heads, N, hd}, std::move(dq)));
+        grads.push_back(Tensor::from_vector({B, heads, N, hd}, std::move(dk)));
+        grads.push_back(Tensor::from_vector({B, heads, N, hd}, std::move(dv)));
+        if (has_mask) grads.emplace_back();  // constant additive bias
+        return grads;
+      });
+  *o_slot = result.impl();
+  return result;
 }
 
 MultiHeadSelfAttention::MultiHeadSelfAttention(int64_t dim, int64_t heads,
@@ -132,21 +197,29 @@ Tensor MultiHeadSelfAttention::forward(const Tensor& x,
                                                << " do not divide batch " << B);
   }
 
-  // Inference forwards (nothing records a graph) stream through the fused
+  // Both inference and training forwards stream through the fused
   // flash-style kernel once the window is big enough to amortize its
-  // per-block bookkeeping.  Training forwards — and tiny windows — take
-  // the unfused path below, which materializes the score tensor and
-  // doubles as the autograd backward / reference implementation.  Inside a
-  // checkpoint region's initial pass the unfused path is kept even though
-  // recording is off, so the saved output matches the backward recompute.
-  auto carries_graph = [](const Tensor& t) {
-    return t.defined() && (t.requires_grad() || t.has_grad_fn());
-  };
-  const bool recording =
-      tensor::grad_enabled() && (carries_graph(qkv) || carries_graph(mask));
+  // per-block bookkeeping.  A training forward records a node holding only
+  // the [B, h, N] row max/sum statistics and backpropagates through the
+  // recompute-based flash backward — no [B, h, N, N] score or dScore
+  // tensor exists on either pass.  Because the gate below depends only on
+  // N and the config — never on whether recording is on — a checkpointed
+  // region's initial (recording-off) pass and its backward-time recompute
+  // take the *same* path, so the saved region output always matches the
+  // recompute bitwise (see nn::inside_checkpoint_region()).  The unfused
+  // path below remains the reference implementation; it also covers the
+  // (never-trained-in-practice) case of a mask that itself carries a
+  // graph, which the fused kernel treats as a constant bias.  Note the
+  // mask test deliberately ignores grad_enabled(): requires_grad/grad_fn
+  // are tensor properties stable across recording toggles, so a
+  // checkpoint region's initial (recording-off) pass and its recompute
+  // still route identically.  (A differentiable mask *built inside* a
+  // checkpoint region would not be stable — but its gradient would be
+  // discarded by nn::checkpoint anyway, and fused_attention rejects a
+  // recorded mask gradient loudly.)
+  const bool mask_grad = carries_graph(mask);
   Tensor out;  // [B, h, N, d]
-  if (!recording && !inside_checkpoint_region() &&
-      N >= ker::config().attn_fused_min_n) {
+  if (N >= ker::config().attn_fused_min_n && !mask_grad) {
     out = fused_attention(q, k, v, mask, scale_);
   } else {
     Tensor scores =

@@ -25,14 +25,25 @@ Tensor split_qkv_head(const Tensor& qkv, int64_t heads, int which);
 /// gather (and its backward into one gather too).  Differentiable.
 Tensor merge_heads(const Tensor& x);
 
-/// Flash-style fused scaled-dot-product attention forward.  q/k/v are
+/// Flash-style fused scaled-dot-product attention.  q/k/v are
 /// [B, heads, N, d]; `mask` (optional) is the additive [groups, N, N]
 /// window bias with groups dividing B (window index fastest-varying in B,
 /// as produced by window partitioning).  Streams K/V blocks through
 /// `tensor::kernels::attention_fused`, never materializing the
-/// [B, heads, N, N] score tensor.  **Inference-only**: the result carries
-/// no autograd graph — training forwards must use the unfused reference
-/// path (see MultiHeadSelfAttention::forward, which routes automatically).
+/// [B, heads, N, N] score tensor.
+///
+/// **Differentiable.**  When autograd is recording and q/k/v carry a
+/// graph, the forward additionally saves the [B, heads, N] online-softmax
+/// row statistics (max + exp-sum, 2 floats per row) and its output, and
+/// the recorded node backpropagates through
+/// `tensor::kernels::attention_fused_backward` — a recompute-based flash
+/// backward that re-streams K/V blocks, so neither the score nor the
+/// dScore tensor is ever materialized on the training path either.  The
+/// mask is treated as a constant additive bias (the cached shifted-window
+/// mask never trains); whenever autograd is recording, a mask that
+/// carries a graph is rejected with an error — even if q/k/v record
+/// nothing, so a mask gradient can never be dropped silently.  Route such
+/// calls through the unfused reference path instead.
 Tensor fused_attention(const Tensor& q, const Tensor& k, const Tensor& v,
                        const Tensor& mask, float scale);
 

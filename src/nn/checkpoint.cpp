@@ -27,7 +27,11 @@ Tensor checkpoint(const std::function<Tensor(const std::vector<Tensor>&)>& fn,
   std::vector<float> out_data;
   {
     tensor::NoGradGuard ng;
-    CheckpointRegionGuard region;  // keep inference-only fast paths off
+    // Marks the region for fast paths that are NOT recompute-consistent
+    // (none in-tree today: fused attention routes identically with and
+    // without recording, so its initial pass matches the backward-time
+    // recompute bitwise — see inside_checkpoint_region() in the header).
+    CheckpointRegionGuard region;
     Tensor out = fn(inputs);
     out_shape = out.shape();
     out_data.assign(out.data().begin(), out.data().end());

@@ -33,11 +33,27 @@ Tensor checkpoint(const std::function<Tensor(const std::vector<Tensor>&)>& fn,
                   const std::vector<Tensor>& params = {});
 
 /// True while the calling thread is inside a checkpoint region's initial
-/// (recording-disabled) forward.  Ops that offer a faster inference-only
-/// path (e.g. fused attention) must not take it there: the backward-time
-/// recompute runs with recording enabled and would rebuild the region from
-/// the reference path, so the saved output has to come from the reference
-/// path too or gradients drift against the stored activations.
+/// (recording-disabled) forward.
+///
+/// Contract for ops with a fast path: the region's saved output must match
+/// the backward-time recompute (which runs with recording enabled), so a
+/// fast path may ignore this guard **iff it is recompute-consistent** —
+/// its route depends only on problem size/config, never on whether
+/// recording is on, and both modes run the same kernel bitwise.  Fused
+/// attention satisfies this since the flash backward landed: the initial
+/// pass and the recompute both call `kernels::attention_fused` under the
+/// same `attn_fused_min_n` gate, so it no longer consults this guard.
+/// Only a fast path whose recording-mode equivalent diverges numerically
+/// from its inference form must check this and fall back to its reference
+/// implementation inside regions.
+///
+/// Corollary: recompute-consistency assumes the routing inputs are stable
+/// between a region's initial forward and its backward-time recompute.
+/// Mutating `tensor::kernels::config()` (e.g. `attn_fused_min_n`,
+/// `attn_bq`/`attn_bkv`) between a checkpointed forward and
+/// `loss.backward()` can route or block the recompute differently from
+/// the saved output and silently drift gradients — change kernel config
+/// only between whole training steps.
 bool inside_checkpoint_region();
 
 }  // namespace coastal::nn

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <limits>
 #include <thread>
+#include <unordered_map>
 
 #include "parallel/thread_pool.hpp"
 
@@ -28,7 +29,10 @@ KernelConfig& config() {
 int resolved_threads() {
   const int n = config().num_threads;
   if (n > 0) return n;
-  return std::max(1u, std::thread::hardware_concurrency());
+  // hardware_concurrency() is a syscall on glibc; parallel_for consults
+  // this on every kernel invocation, so resolve it once.
+  static const int hw = std::max(1u, std::thread::hardware_concurrency());
+  return hw;
 }
 
 void parallel_for(int64_t total, int64_t cost_per_item,
@@ -144,30 +148,58 @@ void micro_kernel(int64_t kc, const float* __restrict Ap,
   }
 }
 
-/// Per-thread packing scratch; pool workers are long-lived so these
-/// allocations amortize to zero.
+/// Per-thread A-panel packing scratch; pool workers are long-lived so the
+/// allocation amortizes to zero.  B panels are packed once per GEMM call
+/// into a buffer shared by every row-block task (see gemm_batched).
 thread_local std::vector<float> t_apack;
-thread_local std::vector<float> t_bpack;
 
-/// Blocked GEMM over one row block: C[0:mb, :] += A[0:mb, :] · B.
-/// Loop order pc → jc keeps accumulation over k strictly ascending per
-/// output element (kc panels are added in order), so splitting m across
-/// tasks never perturbs results.
-void gemm_rowblock(const float* A, const float* B, float* C, int64_t mb,
+/// B-pack scratch retained in warm thread_local pages below this cap (a
+/// fresh allocation per call costs mmap + page faults, measurable at
+/// microsecond GEMM sizes) and allocated per call above it, so no thread
+/// permanently holds more than the cap.
+constexpr int64_t kBpackKeepFloats = int64_t{1} << 20;  // 4 MB
+
+/// Selects the packing destination per the policy above — the single
+/// definition both gemm_batched paths share, so their retention behavior
+/// can never drift apart.
+float* pack_scratch(int64_t need, std::vector<float>& warm,
+                    std::vector<float>& local) {
+  if (need <= kBpackKeepFloats) {
+    warm.resize(static_cast<size_t>(need));
+    return warm.data();
+  }
+  local.resize(static_cast<size_t>(need));
+  return local.data();
+}
+
+/// Shared packed-B layout.  pack_b over the *full* row extent n lays NR
+/// panels out in ascending column order, so for one kc-deep slice the
+/// panel starting at column j0 (always an NR multiple) sits at offset
+/// j0·kc; stacking the kc slices in ascending pc order puts slice pc0 at
+/// offset pc0·npad with npad = ceil(n / NR)·NR.  One full B image is
+/// k·npad floats.
+///
+/// Blocked GEMM over one row block: C[0:mb, :] += A[0:mb, :] · B, with
+/// `Bp` the shared packed image of this entry's B.  Loop order pc → jc
+/// keeps accumulation over k strictly ascending per output element (kc
+/// panels are added in order), so splitting m across tasks never perturbs
+/// results — and the panels themselves are byte-identical to the historic
+/// per-task packing, so sharing them cannot either.
+void gemm_rowblock(const float* A, const float* Bp, float* C, int64_t mb,
                    int64_t k, int64_t n, const KernelConfig& cfg) {
   const int64_t kc_max = std::max<int64_t>(kMR, cfg.gemm_kc);
   const int64_t nc_max =
       std::max<int64_t>(kNR, (cfg.gemm_nc / kNR) * kNR);
+  const int64_t npad = ceil_div(n, kNR) * kNR;
   t_apack.resize(static_cast<size_t>(ceil_div(mb, kMR) * kMR * kc_max));
-  t_bpack.resize(static_cast<size_t>(ceil_div(nc_max, kNR) * kNR * kc_max));
   for (int64_t pc = 0; pc < k; pc += kc_max) {
     const int64_t kc = std::min(kc_max, k - pc);
     pack_a(A + pc, k, mb, kc, t_apack.data());
+    const float* bpc = Bp + pc * npad;
     for (int64_t jc = 0; jc < n; jc += nc_max) {
       const int64_t nc = std::min(nc_max, n - jc);
-      pack_b(B + pc * n + jc, n, kc, nc, t_bpack.data());
       for (int64_t jr = 0; jr < nc; jr += kNR) {
-        const float* bp = t_bpack.data() + (jr / kNR) * kc * kNR;
+        const float* bp = bpc + (jc + jr) * kc;
         for (int64_t ir = 0; ir < mb; ir += kMR) {
           const float* ap = t_apack.data() + (ir / kMR) * kc * kMR;
           micro_kernel(kc, ap, bp, C + ir * n + jc + jr, n,
@@ -205,14 +237,110 @@ void gemm_batched(const float* A, const float* B, float* C, int64_t m,
   }
   const int64_t mc = std::max<int64_t>(kMR, cfg.gemm_mc);
   const int64_t nblocks = ceil_div(m, mc);
+
+  // Pack each *distinct* B operand once into a shared buffer before the
+  // row-block sweep (previously every task repacked its own panels — for a
+  // wide-N projection matmul split over many row blocks that repacking
+  // dominated).  Packing is a pure strided copy with disjoint destinations,
+  // so parallelizing it never reorders arithmetic, and the packed bytes are
+  // identical to what each task used to produce locally.  The buffer is a
+  // caller-thread thread_local so repeated GEMMs reuse warm pages (a fresh
+  // heap allocation per call costs mmap + page faults at these sizes);
+  // pool workers only read it, and it outlives the parallel_for below.
+  const int64_t kc_max = std::max<int64_t>(kMR, cfg.gemm_kc);
+  const int64_t npad = ceil_div(n, kNR) * kNR;
+  // Distinct b_off values (first-seen order) and each entry's image index.
+  // Fast paths cover the two dominant shapes — a single batch entry and a
+  // fully broadcast B — before falling back to hashing.
+  std::vector<int64_t> uniq;
+  std::vector<int32_t> u_of;
+  bool all_same = true;
+  for (int64_t b = 1; b < nbatch && all_same; ++b)
+    all_same = b_off[static_cast<size_t>(b)] == b_off[0];
+  if (all_same) {
+    uniq.push_back(b_off[0]);
+  } else {
+    u_of.resize(static_cast<size_t>(nbatch));
+    std::unordered_map<int64_t, int32_t> seen;
+    seen.reserve(static_cast<size_t>(nbatch));
+    for (int64_t b = 0; b < nbatch; ++b) {
+      auto [it, inserted] = seen.emplace(b_off[static_cast<size_t>(b)],
+                                         static_cast<int32_t>(uniq.size()));
+      if (inserted) uniq.push_back(b_off[static_cast<size_t>(b)]);
+      u_of[static_cast<size_t>(b)] = it->second;
+    }
+  }
+  const int64_t bstride = k * npad;  // one packed B image
+  const int64_t kcblocks = ceil_div(k, kc_max);
+  const int64_t need = static_cast<int64_t>(uniq.size()) * bstride;
+
+  // Share the pre-packed images only when (a) some image is actually
+  // consumed by more than one task and (b) the transient buffer — a padded
+  // copy of every distinct B — stays within a sane bound.  Everything else
+  // packs inside the task, one image at a time: the no-reuse case (every
+  // entry distinct, one row block each — the unfused-attention shape at
+  // small windows) would pay the full copy for zero saved repacks, and an
+  // oversized pack would spike peak RSS by O(total B bytes) per call,
+  // undoing the memory wins this engine exists for.
+  constexpr int64_t kBpackSharedMaxFloats = int64_t{1} << 23;  // 32 MB
+  const bool share = need <= kBpackSharedMaxFloats &&
+                     nbatch * nblocks > static_cast<int64_t>(uniq.size());
+  if (!share) {
+    parallel_for(nbatch * nblocks, mc * k * n, [&](int64_t lo, int64_t hi) {
+      thread_local std::vector<float> t_bpack_task;
+      std::vector<float> local;
+      float* img = pack_scratch(bstride, t_bpack_task, local);
+      int64_t packed_off = -1;  // b_off currently packed into img
+      for (int64_t t = lo; t < hi; ++t) {
+        const int64_t b = t / nblocks;
+        const int64_t i0 = (t % nblocks) * mc;
+        const int64_t mb = std::min(mc, m - i0);
+        const int64_t off = b_off[static_cast<size_t>(b)];
+        if (off != packed_off) {
+          // Tasks are consecutive within a chunk, so same-entry row
+          // blocks repack at most once per chunk.
+          for (int64_t pc0 = 0; pc0 < k; pc0 += kc_max) {
+            const int64_t kc = std::min(kc_max, k - pc0);
+            pack_b(B + off + pc0 * n, n, kc, n, img + pc0 * npad);
+          }
+          packed_off = off;
+        }
+        gemm_rowblock(A + a_off[static_cast<size_t>(b)] + i0 * k, img,
+                      C + b * m * n + i0 * n, mb, k, n, cfg);
+      }
+    });
+    return;
+  }
+
+  thread_local std::vector<float> t_bpack_shared;
+  std::vector<float> bpack_local;
+  float* bpack = pack_scratch(need, t_bpack_shared, bpack_local);
+  const int64_t pack_tasks = static_cast<int64_t>(uniq.size()) * kcblocks;
+  if (pack_tasks == 1) {
+    // Single image, single k-panel: skip the dispatch (tiny GEMMs sit in
+    // the microsecond range where a std::function round-trip shows up).
+    pack_b(B + uniq[0], n, k, n, bpack);
+  } else {
+    parallel_for(pack_tasks, kc_max * npad, [&](int64_t lo, int64_t hi) {
+      for (int64_t t = lo; t < hi; ++t) {
+        const int64_t u = t / kcblocks;
+        const int64_t pc0 = (t % kcblocks) * kc_max;
+        const int64_t kc = std::min(kc_max, k - pc0);
+        pack_b(B + uniq[static_cast<size_t>(u)] + pc0 * n, n, kc, n,
+               bpack + u * bstride + pc0 * npad);
+      }
+    });
+  }
+
   parallel_for(nbatch * nblocks, mc * k * n, [&](int64_t lo, int64_t hi) {
     for (int64_t t = lo; t < hi; ++t) {
       const int64_t b = t / nblocks;
       const int64_t i0 = (t % nblocks) * mc;
       const int64_t mb = std::min(mc, m - i0);
+      const int64_t u = all_same ? 0 : u_of[static_cast<size_t>(b)];
       gemm_rowblock(A + a_off[static_cast<size_t>(b)] + i0 * k,
-                    B + b_off[static_cast<size_t>(b)], C + b * m * n + i0 * n,
-                    mb, k, n, cfg);
+                    bpack + u * bstride, C + b * m * n + i0 * n, mb, k, n,
+                    cfg);
     }
   });
 }
@@ -223,7 +351,8 @@ void gemm_batched(const float* A, const float* B, float* C, int64_t m,
 
 namespace {
 
-/// Branch-free expf for the fused-attention epilogue: exp(x) = 2^k · e^t
+/// Branch-free expf shared by the fused attention forward/backward and
+/// softmax_rows: exp(x) = 2^k · e^t
 /// with k = rint(x·log2 e) and t = (x·log2 e − k)·ln 2 ∈ [−½ln 2, ½ln 2],
 /// e^t by a degree-7 Taylor polynomial (relative error ≲ 2e−7).  Unlike
 /// libm's expf this contains no call and no branch, so GCC/Clang
@@ -278,6 +407,38 @@ thread_local std::vector<float> t_attn_stat;
 /// (re)association pattern is identical on every host and thread count.
 constexpr int kAttnLanes = 16;
 
+/// Lane-strided max of x[0, n) folded into `init`.  This association
+/// pattern is a determinism-critical invariant shared by the fused
+/// attention forward and softmax_rows — one definition so the reduction
+/// trees can never drift apart.  NaN falls out of std::max (comparisons
+/// with NaN are false), so callers relying on NaN poisoning must route it
+/// through a later arithmetic step, as both users do via exp(NaN - mx).
+inline float lane_max(const float* __restrict x, int64_t n, float init) {
+  float part[kAttnLanes];
+  for (int u = 0; u < kAttnLanes; ++u)
+    part[u] = -std::numeric_limits<float>::infinity();
+  int64_t i = 0;
+  for (; i + kAttnLanes <= n; i += kAttnLanes)
+    for (int u = 0; u < kAttnLanes; ++u)
+      part[u] = std::max(part[u], x[i + u]);
+  for (int u = 0; u < kAttnLanes; ++u) init = std::max(init, part[u]);
+  for (; i < n; ++i) init = std::max(init, x[i]);
+  return init;
+}
+
+/// Lane-strided sum of x[0, n): partial lanes fold in ascending lane
+/// order, then the tail adds serially — same fixed association everywhere.
+inline float lane_sum(const float* __restrict x, int64_t n) {
+  float part[kAttnLanes] = {};
+  int64_t i = 0;
+  for (; i + kAttnLanes <= n; i += kAttnLanes)
+    for (int u = 0; u < kAttnLanes; ++u) part[u] += x[i + u];
+  float sum = 0.0f;
+  for (int u = 0; u < kAttnLanes; ++u) sum += part[u];
+  for (; i < n; ++i) sum += x[i];
+  return sum;
+}
+
 /// One (batch entry, query row block) of flash attention.  KV blocks are
 /// consumed in ascending order and every reduction (over d in the score
 /// dot, over lanes in the max/sum scans, over blocks in the recurrence)
@@ -287,10 +448,13 @@ constexpr int kAttnLanes = 16;
 /// `D` is the compile-time head dim for the hot instantiations (the
 /// d-loops fully unroll and the output accumulator row lives in vector
 /// registers across the V sweep); `D == 0` is the runtime-d fallback.
+/// `stats_out` (optional) receives the final (m, l) pair per query row —
+/// the contract attention_fused_backward rebuilds probabilities from.
 template <int D>
 void attention_task(const float* Qb, const float* Kb, const float* Vb,
                     float* Ob, const float* mrow, int64_t rows, int64_t nkv,
-                    int64_t rt_d, float scale, int64_t bc_max) {
+                    int64_t rt_d, float scale, int64_t bc_max,
+                    float* stats_out) {
   const int64_t d = D > 0 ? D : rt_d;
   t_attn_kt.resize(static_cast<size_t>(d * bc_max));
   t_attn_s.resize(static_cast<size_t>(rows * bc_max));
@@ -334,17 +498,7 @@ void attention_task(const float* Qb, const float* Kb, const float* Vb,
       // the row sum through exp(NaN), matching unfused semantics.  Max is
       // exact under any association, so the lane split never changes the
       // result on NaN-free rows (a NaN row is wholly poisoned anyway).
-      float bm = m[i];
-      {
-        float part[kAttnLanes];
-        for (int u = 0; u < kAttnLanes; ++u) part[u] = kNegInf;
-        int64_t j = 0;
-        for (; j + kAttnLanes <= bc; j += kAttnLanes)
-          for (int u = 0; u < kAttnLanes; ++u)
-            part[u] = std::max(part[u], srow[j + u]);
-        for (int u = 0; u < kAttnLanes; ++u) bm = std::max(bm, part[u]);
-        for (; j < bc; ++j) bm = std::max(bm, srow[j]);
-      }
+      const float bm = lane_max(srow, bc, m[i]);
       // While the running max is still -inf (every key so far masked with
       // -inf), subtract 0 instead: exp(-inf - -inf) would manufacture NaN
       // where the reference softmax — whose max spans the whole row —
@@ -359,15 +513,7 @@ void attention_task(const float* Qb, const float* Kb, const float* Vb,
       // on add latency, and fusing the sum into the exp loop would
       // serialize that loop too.
       for (int64_t j = 0; j < bc; ++j) srow[j] = fast_expf(srow[j] - bm_eff);
-      float rowsum = 0.0f;
-      {
-        float part[kAttnLanes] = {};
-        int64_t j = 0;
-        for (; j + kAttnLanes <= bc; j += kAttnLanes)
-          for (int u = 0; u < kAttnLanes; ++u) part[u] += srow[j + u];
-        for (int u = 0; u < kAttnLanes; ++u) rowsum += part[u];
-        for (; j < bc; ++j) rowsum += srow[j];
-      }
+      const float rowsum = lane_sum(srow, bc);
       l[i] = alpha * l[i] + rowsum;
       // acc[i, :] = alpha · acc[i, :] + P · V_block, with two independent
       // fma chains over j to hide the accumulator latency.  Chain results
@@ -407,6 +553,15 @@ void attention_task(const float* Qb, const float* Kb, const float* Vb,
     float* orow = Ob + i * d;
     for (int64_t dd = 0; dd < d; ++dd) orow[dd] = arow[dd] * inv;
   }
+  if (stats_out != nullptr) {
+    // The raw running max (possibly -inf on a fully masked row) and the
+    // exponential sum, exactly as the recurrence left them — the backward
+    // reconstructs P[i, j] = fast_expf(S[i, j] - m) / l from these.
+    for (int64_t i = 0; i < rows; ++i) {
+      stats_out[i * 2] = m[i];
+      stats_out[i * 2 + 1] = l[i];
+    }
+  }
 }
 
 }  // namespace
@@ -414,7 +569,7 @@ void attention_task(const float* Qb, const float* Kb, const float* Vb,
 void attention_fused(const float* Q, const float* K, const float* V, float* O,
                      int64_t nbatch, int64_t nq, int64_t nkv, int64_t d,
                      float scale, const float* mask,
-                     const std::vector<int64_t>& mask_off) {
+                     const std::vector<int64_t>& mask_off, float* stats) {
   if (nbatch <= 0 || nq <= 0 || nkv <= 0 || d <= 0) return;
   const KernelConfig& cfg = config();
   const int64_t bq = std::max<int64_t>(1, cfg.attn_bq);
@@ -439,7 +594,177 @@ void attention_fused(const float* Q, const float* K, const float* V, float* O,
       const float* mrow =
           mask ? mask + mask_off[static_cast<size_t>(b)] + q0 * nkv : nullptr;
       task(Q + (b * nq + q0) * d, K + b * nkv * d, V + b * nkv * d,
-           O + (b * nq + q0) * d, mrow, rows, nkv, d, scale, bc_max);
+           O + (b * nq + q0) * d, mrow, rows, nkv, d, scale, bc_max,
+           stats ? stats + (b * nq + q0) * 2 : nullptr);
+    }
+  });
+}
+
+namespace {
+
+/// Per-thread fused-backward scratch: packed Kᵀ/Vᵀ blocks, the rebuilt
+/// probability row, the dO·Vᵀ row, and Δ_i = Σ_d dO∘O per query row.
+thread_local std::vector<float> t_attn_bwd_kt;
+thread_local std::vector<float> t_attn_bwd_vt;
+thread_local std::vector<float> t_attn_bwd_p;
+thread_local std::vector<float> t_attn_bwd_dp;
+thread_local std::vector<float> t_attn_bwd_delta;
+
+/// One (batch × head) entry of the recompute-based flash backward.  KV
+/// blocks stream in ascending order and query rows are visited in
+/// ascending order inside each block, so every accumulation into
+/// dQ/dK/dV has a fixed, thread-count-independent order.  The probability
+/// block is rebuilt from the saved (m, l) with the same fast_expf the
+/// forward used; P equals the forward's weights exactly when the row's
+/// sweep fit one KV block, and to within float rounding otherwise (the
+/// forward reaches a rescaled block's weight as exp(S − m_blk)·alpha, two
+/// expf results multiplied, where this takes one call) — see the stats
+/// contract in kernels.hpp.
+template <int D>
+void attention_bwd_task(const float* Qb, const float* Kb, const float* Vb,
+                        const float* Ob, const float* dOb,
+                        const float* statsb, const float* mrow, float* dQb,
+                        float* dKb, float* dVb, int64_t nq, int64_t nkv,
+                        int64_t rt_d, float scale, int64_t bc_max) {
+  const int64_t d = D > 0 ? D : rt_d;
+  t_attn_bwd_kt.resize(static_cast<size_t>(d * bc_max));
+  t_attn_bwd_vt.resize(static_cast<size_t>(d * bc_max));
+  t_attn_bwd_p.resize(static_cast<size_t>(bc_max));
+  t_attn_bwd_dp.resize(static_cast<size_t>(bc_max));
+  t_attn_bwd_delta.resize(static_cast<size_t>(nq));
+  float* kt = t_attn_bwd_kt.data();
+  float* vt = t_attn_bwd_vt.data();
+  float* p = t_attn_bwd_p.data();
+  float* dp = t_attn_bwd_dp.data();
+  float* delta = t_attn_bwd_delta.data();
+  std::fill(dQb, dQb + nq * d, 0.0f);
+  std::fill(dKb, dKb + nkv * d, 0.0f);
+  std::fill(dVb, dVb + nkv * d, 0.0f);
+
+  // Δ_i = Σ_d dO[i,:]·O[i,:] — the softmax-backward row dot (Σ_j P·dP) in
+  // flash form, computable without P because O = P·V is already normalized.
+  for (int64_t i = 0; i < nq; ++i) {
+    const float* orow = Ob + i * d;
+    const float* grow = dOb + i * d;
+    float acc = 0.0f;
+    for (int64_t dd = 0; dd < d; ++dd) acc += grow[dd] * orow[dd];
+    delta[i] = acc;
+  }
+
+  for (int64_t kv0 = 0; kv0 < nkv; kv0 += bc_max) {
+    const int64_t bc = std::min(bc_max, nkv - kv0);
+    // Pack K and V transposed, exactly like the forward packs K: the score
+    // and dO·Vᵀ micro-kernels then run contiguously over j lanes with
+    // reductions over d in fixed ascending order.
+    for (int64_t j = 0; j < bc; ++j) {
+      const float* krow = Kb + (kv0 + j) * d;
+      const float* vrow = Vb + (kv0 + j) * d;
+      for (int64_t dd = 0; dd < d; ++dd) {
+        kt[dd * bc + j] = krow[dd];
+        vt[dd * bc + j] = vrow[dd];
+      }
+    }
+    for (int64_t i = 0; i < nq; ++i) {
+      const float* qrow = Qb + i * d;
+      const float* grow = dOb + i * d;
+      // Recompute the score row for this block (same arithmetic as the
+      // forward), then rebuild probabilities from the saved statistics:
+      // P = exp(S - m) / l.  A masked key (-inf or -1e9 bias) yields an
+      // exact 0; a fully masked row carries m = -inf, l = 0 and poisons
+      // its gradients with NaN exactly like the reference backward.
+      std::fill(p, p + bc, 0.0f);
+      for (int64_t dd = 0; dd < d; ++dd) {
+        const float qv = qrow[dd];
+        const float* __restrict krow = kt + dd * bc;
+        float* __restrict prow = p;
+        for (int64_t j = 0; j < bc; ++j) prow[j] += qv * krow[j];
+      }
+      if (mrow != nullptr) {
+        const float* mk = mrow + i * nkv + kv0;
+        for (int64_t j = 0; j < bc; ++j) p[j] = p[j] * scale + mk[j];
+      } else {
+        for (int64_t j = 0; j < bc; ++j) p[j] *= scale;
+      }
+      const float mi = statsb[i * 2];
+      const float inv_l = 1.0f / statsb[i * 2 + 1];
+      for (int64_t j = 0; j < bc; ++j)
+        p[j] = fast_expf(p[j] - mi) * inv_l;
+      // dP = dO · Vᵀ over this block.
+      std::fill(dp, dp + bc, 0.0f);
+      for (int64_t dd = 0; dd < d; ++dd) {
+        const float gv = grow[dd];
+        const float* __restrict vrow = vt + dd * bc;
+        float* __restrict dprow = dp;
+        for (int64_t j = 0; j < bc; ++j) dprow[j] += gv * vrow[j];
+      }
+      // dS = P ∘ (dP - Δ_i) · scale, folded straight into the three
+      // gradient accumulations — dS itself never exists as a row.
+      const float di = delta[i];
+      if constexpr (D > 0) {
+        float dq[D] = {};
+        for (int64_t j = 0; j < bc; ++j) {
+          const float pj = p[j];
+          const float ds = pj * (dp[j] - di) * scale;
+          const float* krow = Kb + (kv0 + j) * D;
+          float* dkrow = dKb + (kv0 + j) * D;
+          float* dvrow = dVb + (kv0 + j) * D;
+          for (int dd = 0; dd < D; ++dd) dq[dd] += ds * krow[dd];
+          for (int dd = 0; dd < D; ++dd) dkrow[dd] += ds * qrow[dd];
+          for (int dd = 0; dd < D; ++dd) dvrow[dd] += pj * grow[dd];
+        }
+        float* dqrow = dQb + i * D;
+        for (int dd = 0; dd < D; ++dd) dqrow[dd] += dq[dd];
+      } else {
+        float* dqrow = dQb + i * d;
+        for (int64_t j = 0; j < bc; ++j) {
+          const float pj = p[j];
+          const float ds = pj * (dp[j] - di) * scale;
+          const float* krow = Kb + (kv0 + j) * d;
+          float* dkrow = dKb + (kv0 + j) * d;
+          float* dvrow = dVb + (kv0 + j) * d;
+          for (int64_t dd = 0; dd < d; ++dd) dqrow[dd] += ds * krow[dd];
+          for (int64_t dd = 0; dd < d; ++dd) dkrow[dd] += ds * qrow[dd];
+          for (int64_t dd = 0; dd < d; ++dd) dvrow[dd] += pj * grow[dd];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void attention_fused_backward(const float* Q, const float* K, const float* V,
+                              const float* O, const float* dO,
+                              const float* stats, float* dQ, float* dK,
+                              float* dV, int64_t nbatch, int64_t nq,
+                              int64_t nkv, int64_t d, float scale,
+                              const float* mask,
+                              const std::vector<int64_t>& mask_off) {
+  if (nbatch <= 0 || nq <= 0 || nkv <= 0 || d <= 0) return;
+  const KernelConfig& cfg = config();
+  const int64_t bc_max = std::min(std::max<int64_t>(1, cfg.attn_bkv), nkv);
+  // Head-dim specialization mirrors the forward (path depends only on d).
+  auto task = attention_bwd_task<0>;
+  switch (d) {
+    case 4: task = attention_bwd_task<4>; break;
+    case 8: task = attention_bwd_task<8>; break;
+    case 16: task = attention_bwd_task<16>; break;
+    case 32: task = attention_bwd_task<32>; break;
+    case 64: task = attention_bwd_task<64>; break;
+    default: break;
+  }
+  // One task per (batch × head) entry: dK/dV rows accumulate over *query*
+  // rows, so splitting queries across tasks would either race or need a
+  // deterministic reduction tree.  Batch × heads is the natural grain for
+  // training workloads (B · nW · heads entries) and keeps every gradient
+  // element owned by exactly one task.
+  parallel_for(nbatch, 5 * nq * nkv * d, [&](int64_t lo, int64_t hi) {
+    for (int64_t b = lo; b < hi; ++b) {
+      const float* mrow =
+          mask ? mask + mask_off[static_cast<size_t>(b)] : nullptr;
+      task(Q + b * nq * d, K + b * nkv * d, V + b * nkv * d, O + b * nq * d,
+           dO + b * nq * d, stats + b * nq * 2, mrow, dQ + b * nq * d,
+           dK + b * nkv * d, dV + b * nkv * d, nq, nkv, d, scale, bc_max);
     }
   });
 }
@@ -449,17 +774,22 @@ void attention_fused(const float* Q, const float* K, const float* V, float* O,
 // ---------------------------------------------------------------------------
 
 void softmax_rows(const float* x, float* y, int64_t rows, int64_t cols) {
+  constexpr float kNegInf = -std::numeric_limits<float>::infinity();
   parallel_for(rows, cols * 8, [&](int64_t lo, int64_t hi) {
     for (int64_t r = lo; r < hi; ++r) {
       const float* row = x + r * cols;
       float* orow = y + r * cols;
-      float mx = row[0];
-      for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, row[c]);
-      float denom = 0.0f;
-      for (int64_t c = 0; c < cols; ++c) {
-        orow[c] = std::exp(row[c] - mx);
-        denom += orow[c];
-      }
+      // Same structure as the fused-attention epilogue: lane-strided max,
+      // a branch-free expf pass the compiler vectorizes (libm expf kept
+      // this loop scalar and was the kernel's entire cost), lane-strided
+      // sum — all via the shared lane_max/lane_sum helpers so the
+      // association can never drift from the fused path.  Rows stay
+      // bitwise identical across thread counts.  A NaN score falls out of
+      // the max but poisons the row through exp(NaN); an all -inf row
+      // yields exp(-inf - -inf) = NaN like libm.
+      const float mx = lane_max(row, cols, kNegInf);
+      for (int64_t c = 0; c < cols; ++c) orow[c] = fast_expf(row[c] - mx);
+      const float denom = lane_sum(orow, cols);
       const float inv = 1.0f / denom;
       for (int64_t c = 0; c < cols; ++c) orow[c] *= inv;
     }

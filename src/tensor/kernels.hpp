@@ -63,11 +63,13 @@ struct KernelConfig {
   int64_t attn_bq = 64;    ///< query rows per task block
   int64_t attn_bkv = 128;  ///< K/V rows streamed per inner block
 
-  /// `nn::MultiHeadSelfAttention` routes inference forwards through the
-  /// fused kernel only when the token count N is at least this; below it
-  /// the unfused reference path wins (per-block bookkeeping dominates at
-  /// tiny windows).  Training forwards always take the unfused path, which
-  /// doubles as the autograd backward.
+  /// `nn::MultiHeadSelfAttention` routes forwards — inference *and*
+  /// training — through the fused kernels only when the token count N is at
+  /// least this; below it the unfused reference path wins (per-block
+  /// bookkeeping dominates at tiny windows).  The same gate governs the
+  /// forward and the recompute-based backward so a checkpointed region's
+  /// initial pass and its backward-time recompute always pick the same
+  /// path.
   int64_t attn_fused_min_n = 32;
 };
 
@@ -99,7 +101,11 @@ void gemm(const float* A, const float* B, float* C, int64_t m, int64_t k,
 /// (B + b_off[i]).  Parallelized over (batch × row-block) tasks; each
 /// output row is produced by exactly one task, so results are bitwise
 /// independent of thread count.  Offsets encode broadcast (repeated
-/// entries are fine).
+/// entries are fine).  Each *distinct* B operand is packed into panels
+/// exactly once per call, in a shared buffer all row-block tasks consume —
+/// repacking per task used to dominate wide-N problems split over many row
+/// blocks.  The packed layout (and thus every accumulation order) is
+/// byte-identical to the historic per-task packing.
 void gemm_batched(const float* A, const float* B, float* C, int64_t m,
                   int64_t k, int64_t n, int64_t nbatch,
                   const std::vector<int64_t>& a_off,
@@ -126,17 +132,58 @@ void gemm_batched(const float* A, const float* B, float* C, int64_t m,
 /// blocks are consumed in a fixed ascending order, so results are bitwise
 /// identical across thread counts.  NaN/Inf anywhere in a score row
 /// poisons that output row exactly as the unfused softmax does.
+///
+/// `stats` (optional, [nbatch, nq, 2]) receives the final online-softmax
+/// row statistics: stats[(b·nq + i)·2] = the row score max m_i and
+/// stats[(b·nq + i)·2 + 1] = the row exponential sum l_i, both *after* the
+/// full KV sweep, so `P[i, j] = exp(S[i, j] − m_i) / l_i` reconstructs the
+/// forward's normalized weights (same `fast_expf`, same m; exact when the
+/// sweep fits one KV block, and within float rounding otherwise — the
+/// forward reaches a rescaled block's weight through exp(S − m_blk)·alpha,
+/// two expf results multiplied, where the reconstruction is one call).
+/// This is the contract `attention_fused_backward` consumes; a fully
+/// masked row saves m = −inf, l = 0 (its output is NaN on every path).
 void attention_fused(const float* Q, const float* K, const float* V, float* O,
                      int64_t nbatch, int64_t nq, int64_t nkv, int64_t d,
                      float scale, const float* mask,
-                     const std::vector<int64_t>& mask_off);
+                     const std::vector<int64_t>& mask_off,
+                     float* stats = nullptr);
+
+/// Recompute-based (flash-style) attention backward.  Given the forward's
+/// inputs, its output O, the upstream gradient dO, and the saved per-row
+/// statistics from `attention_fused` (see above), produces
+///
+///   dV = Pᵀ·dO,   dS = P ∘ (dO·Vᵀ − Δ)·scale,   dQ = dS·K,   dK = dSᵀ·Q,
+///
+/// where Δ_i = Σ_d dO[i,d]·O[i,d], WITHOUT ever materializing P or dS:
+/// K/V blocks are re-streamed through the same packed-Kᵀ/Vᵀ micro-kernels
+/// as the forward and each probability block is rebuilt from (m, l).
+/// Scratch is O(attn_bkv · d) per task.
+///
+/// dQ is [nbatch, nq, d]; dK/dV are [nbatch, nkv, d]; all three are fully
+/// overwritten.  One task owns one (batch × head) entry and consumes KV
+/// blocks and query rows in fixed ascending order, so results are bitwise
+/// identical across thread counts.  NaN/Inf poison exactly the gradient
+/// entries the unfused reference backward (softmax_backward + matmuls)
+/// poisons: a masked-out key (weight exactly 0) contributes nothing, while
+/// a NaN Δ/P row poisons every gradient row it touches.
+void attention_fused_backward(const float* Q, const float* K, const float* V,
+                              const float* O, const float* dO,
+                              const float* stats, float* dQ, float* dK,
+                              float* dV, int64_t nbatch, int64_t nq,
+                              int64_t nkv, int64_t d, float scale,
+                              const float* mask,
+                              const std::vector<int64_t>& mask_off);
 
 // ---------------------------------------------------------------------------
 // Row-wise fused ops (softmax / layer norm); parallel over rows.
 // ---------------------------------------------------------------------------
 
-/// y[r,:] = softmax(x[r,:]).  Online max/denominator (single stats pass +
-/// one write pass).
+/// y[r,:] = softmax(x[r,:]).  Lane-strided max/sum reductions and the same
+/// branch-free polynomial expf as the fused attention path (the exp loop
+/// vectorizes; libm expf kept this kernel scalar).  Reduction association
+/// is fixed at compile time, so rows are bitwise identical across hosts
+/// and thread counts; NaN/±inf rows poison exactly as with libm expf.
 void softmax_rows(const float* x, float* y, int64_t rows, int64_t cols);
 
 /// gx = softmax backward from output y and upstream g.

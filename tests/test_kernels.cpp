@@ -10,6 +10,7 @@
 #include <cstring>
 
 #include "nn/attention.hpp"
+#include "nn/checkpoint.hpp"
 #include "tensor/kernels.hpp"
 #include "tensor/tensor.hpp"
 #include "test_helpers.hpp"
@@ -558,6 +559,346 @@ TEST(Kernels, AttentionFallbackThresholdKeepsTinyWindowsUnfused) {
   EXPECT_EQ(std::memcmp(below.raw(), unfused.raw(),
                         static_cast<size_t>(below.numel()) * sizeof(float)),
             0);
+}
+
+// ---------------------------------------------------------------------------
+// Fused (flash-style) attention backward
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Analytic gradients of sum(attention(q, k, v) * seed) through the
+/// *unfused* reference chain (matmul + softmax autograd) — the ground
+/// truth the fused recompute-based backward must reproduce.
+struct AttnGrads {
+  Tensor dq, dk, dv;
+};
+
+AttnGrads reference_attention_grads(const Tensor& q, const Tensor& k,
+                                    const Tensor& v, const Tensor& mask,
+                                    float scale, const Tensor& seed) {
+  Tensor ql = q.detach(), kl = k.detach(), vl = v.detach();
+  ql.set_requires_grad(true);
+  kl.set_requires_grad(true);
+  vl.set_requires_grad(true);
+  reference_attention(ql, kl, vl, mask, scale).mul(seed).sum().backward();
+  return {ql.grad(), kl.grad(), vl.grad()};
+}
+
+AttnGrads fused_attention_grads(const Tensor& q, const Tensor& k,
+                                const Tensor& v, const Tensor& mask,
+                                float scale, const Tensor& seed) {
+  Tensor ql = q.detach(), kl = k.detach(), vl = v.detach();
+  ql.set_requires_grad(true);
+  kl.set_requires_grad(true);
+  vl.set_requires_grad(true);
+  nn::fused_attention(ql, kl, vl, mask, scale).mul(seed).sum().backward();
+  return {ql.grad(), kl.grad(), vl.grad()};
+}
+
+}  // namespace
+
+TEST(Kernels, FusedBackwardMatchesReferenceAcrossShapesAndHeadDims) {
+  util::Rng rng(40);
+  coastal::testing::KernelConfigOverride guard;
+  ker::config().attn_bq = 8;
+  ker::config().attn_bkv = 16;  // odd N crosses KV-block boundaries
+  struct Case {
+    int64_t B, h, N, d;
+  };
+  // Odd / non-pow2 N straddling the block sizes; head dims covering every
+  // specialized instantiation (4..64) plus the runtime-d fallback (5).
+  const Case cases[] = {{2, 3, 17, 4},  {1, 2, 33, 8},  {2, 1, 21, 16},
+                        {1, 2, 97, 32}, {1, 1, 40, 64}, {2, 2, 19, 5}};
+  for (const auto& c : cases) {
+    Tensor q = Tensor::randn({c.B, c.h, c.N, c.d}, rng);
+    Tensor k = Tensor::randn({c.B, c.h, c.N, c.d}, rng);
+    Tensor v = Tensor::randn({c.B, c.h, c.N, c.d}, rng);
+    Tensor seed = Tensor::randn({c.B, c.h, c.N, c.d}, rng);
+    const float scale = 1.0f / std::sqrt(static_cast<float>(c.d));
+    AttnGrads want = reference_attention_grads(q, k, v, Tensor(), scale, seed);
+    AttnGrads got = fused_attention_grads(q, k, v, Tensor(), scale, seed);
+    const std::string label = "N=" + std::to_string(c.N) +
+                              " d=" + std::to_string(c.d);
+    EXPECT_LT(coastal::testing::max_abs_diff(got.dq, want.dq), 2e-4) << label;
+    EXPECT_LT(coastal::testing::max_abs_diff(got.dk, want.dk), 2e-4) << label;
+    EXPECT_LT(coastal::testing::max_abs_diff(got.dv, want.dv), 2e-4) << label;
+  }
+}
+
+TEST(Kernels, FusedBackwardMaskedWindowsMatchReference) {
+  util::Rng rng(41);
+  coastal::testing::KernelConfigOverride guard;
+  ker::config().attn_bq = 4;
+  ker::config().attn_bkv = 8;
+  // Same shifted-window mask pattern as the forward test: group 0 is
+  // block-diagonal halves, group 1 forbids a column stripe; B = rep*groups
+  // with window index fastest-varying.
+  const int64_t groups = 2, rep = 2, B = rep * groups, h = 2, N = 21, d = 6;
+  Tensor q = Tensor::randn({B, h, N, d}, rng);
+  Tensor k = Tensor::randn({B, h, N, d}, rng);
+  Tensor v = Tensor::randn({B, h, N, d}, rng);
+  Tensor seed = Tensor::randn({B, h, N, d}, rng);
+  std::vector<float> mdata(static_cast<size_t>(groups * N * N), 0.0f);
+  for (int64_t g = 0; g < groups; ++g)
+    for (int64_t i = 0; i < N; ++i)
+      for (int64_t j = 0; j < N; ++j)
+        if ((g == 0 && (i < N / 2) != (j < N / 2)) || (g == 1 && j % 5 == 2))
+          mdata[static_cast<size_t>((g * N + i) * N + j)] = -1e9f;
+  Tensor mask = Tensor::from_vector({groups, N, N}, std::move(mdata));
+  const float scale = 0.4f;
+  AttnGrads want = reference_attention_grads(q, k, v, mask, scale, seed);
+  AttnGrads got = fused_attention_grads(q, k, v, mask, scale, seed);
+  EXPECT_LT(coastal::testing::max_abs_diff(got.dq, want.dq), 2e-4);
+  EXPECT_LT(coastal::testing::max_abs_diff(got.dk, want.dk), 2e-4);
+  EXPECT_LT(coastal::testing::max_abs_diff(got.dv, want.dv), 2e-4);
+  // Masked-out keys must get gradient contributions of exactly zero from
+  // the rows that exclude them (weight is exactly 0 on both paths), so no
+  // NaN/garbage leaks through a -1e9 bias.
+  for (int64_t dd = 0; dd < d; ++dd)
+    EXPECT_TRUE(std::isfinite(got.dk.at({0, 0, 2, dd})));
+}
+
+TEST(Kernels, FusedBackwardGradcheckOddShapes) {
+  util::Rng rng(42);
+  coastal::testing::KernelConfigOverride guard;
+  ker::config().attn_bq = 4;
+  ker::config().attn_bkv = 8;
+  // Numeric gradcheck straight through nn::fused_attention (forward is the
+  // fused kernel on every loss evaluation, backward is the recompute
+  // kernel).  Small odd shape to keep central differences cheap.
+  const int64_t B = 1, h = 2, N = 11, d = 4;
+  Tensor q = Tensor::randn({B, h, N, d}, rng);
+  Tensor k = Tensor::randn({B, h, N, d}, rng);
+  Tensor v = Tensor::randn({B, h, N, d}, rng);
+  const float scale = 0.5f;
+  coastal::testing::gradcheck(
+      [&](const Tensor& t) {
+        return nn::fused_attention(t, k, v, Tensor(), scale).mul(t).sum();
+      },
+      q);
+  coastal::testing::gradcheck(
+      [&](const Tensor& t) {
+        return nn::fused_attention(q, t, v, Tensor(), scale).sum();
+      },
+      k);
+  coastal::testing::gradcheck(
+      [&](const Tensor& t) {
+        return nn::fused_attention(q, k, t, Tensor(), scale).sum();
+      },
+      v);
+}
+
+TEST(Kernels, AttentionModuleTrainingGradcheckThroughFusedPath) {
+  util::Rng rng(43);
+  coastal::testing::KernelConfigOverride guard;
+  ker::config().attn_fused_min_n = 1;  // force the fused training path
+  nn::MultiHeadSelfAttention attn(8, 2, rng);
+  Tensor x = Tensor::randn({2, 5, 8}, rng);
+  coastal::testing::gradcheck(
+      [&](const Tensor& t) { return attn.forward(t).mul(t).sum(); }, x);
+}
+
+TEST(Kernels, FusedBackwardSerialVsParallelBitwise) {
+  util::Rng rng(44);
+  const int64_t B = 3, h = 2, N = 70, d = 8;
+  Tensor q = Tensor::randn({B, h, N, d}, rng);
+  Tensor k = Tensor::randn({B, h, N, d}, rng);
+  Tensor v = Tensor::randn({B, h, N, d}, rng);
+  Tensor seed = Tensor::randn({B, h, N, d}, rng);
+  Tensor mask;
+  {
+    std::vector<float> mdata(static_cast<size_t>(3 * N * N), 0.0f);
+    for (size_t i = 0; i < mdata.size(); i += 7) mdata[i] = -1e9f;
+    mask = Tensor::from_vector({3, N, N}, std::move(mdata));
+  }
+  coastal::testing::KernelConfigOverride guard;
+  ker::config().attn_bq = 16;
+  ker::config().attn_bkv = 32;
+  ker::config().num_threads = 1;
+  AttnGrads serial = fused_attention_grads(q, k, v, mask, 0.3f, seed);
+  ker::config().num_threads = 8;
+  ker::config().parallel_grain = 1;  // force chunked dispatch
+  AttnGrads parallel = fused_attention_grads(q, k, v, mask, 0.3f, seed);
+  const Tensor* s[] = {&serial.dq, &serial.dk, &serial.dv};
+  const Tensor* p[] = {&parallel.dq, &parallel.dk, &parallel.dv};
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(s[i]->shape(), p[i]->shape()) << "grad " << i;
+    EXPECT_EQ(std::memcmp(s[i]->raw(), p[i]->raw(),
+                          static_cast<size_t>(s[i]->numel()) * sizeof(float)),
+              0)
+        << "serial vs parallel mismatch in grad " << i;
+  }
+}
+
+TEST(Kernels, FusedTrainingPathNeverMaterializesScoreTensor) {
+  // The whole point of the fused training path: the autograd node holds
+  // [B, h, N] row statistics, not [B, h, N, N] scores.  Compare peak
+  // allocation of a forward+backward on both paths; the unfused chain
+  // materializes several N^2 tensors, the fused one none.
+  util::Rng rng(45);
+  const int64_t B = 2, h = 2, N = 128, d = 8;
+  Tensor q = Tensor::randn({B, h, N, d}, rng);
+  Tensor k = Tensor::randn({B, h, N, d}, rng);
+  Tensor v = Tensor::randn({B, h, N, d}, rng);
+  Tensor seed = Tensor::randn({B, h, N, d}, rng);
+
+  auto peak_of = [&](auto&& fn) {
+    tensor::reset_peak_bytes();
+    const uint64_t before = tensor::alloc_stats().current_bytes;
+    fn();
+    return tensor::alloc_stats().peak_bytes - before;
+  };
+  const uint64_t peak_unfused = peak_of(
+      [&] { reference_attention_grads(q, k, v, Tensor(), 0.35f, seed); });
+  const uint64_t peak_fused = peak_of(
+      [&] { fused_attention_grads(q, k, v, Tensor(), 0.35f, seed); });
+  const uint64_t score_bytes =
+      static_cast<uint64_t>(B * h * N * N) * sizeof(float);
+  // The unfused chain must hold at least one score tensor at peak; the
+  // fused chain must peak below a single score tensor's footprint (it
+  // allocates only [B, h, N, d] tensors and the 2-float-per-row stats).
+  EXPECT_GT(peak_unfused, score_bytes);
+  EXPECT_LT(peak_fused, score_bytes);
+  EXPECT_LT(peak_fused * 3, peak_unfused);
+}
+
+TEST(Kernels, FusedBackwardPropagatesNaN) {
+  // A NaN query entry poisons a probability row on both paths; the fused
+  // backward must poison exactly the gradient entries the reference
+  // backward poisons — pin NaN-location equality elementwise rather than a
+  // hardcoded scope.
+  util::Rng rng(46);
+  coastal::testing::KernelConfigOverride guard;
+  ker::config().attn_bq = 8;
+  ker::config().attn_bkv = 8;
+  const int64_t B = 1, h = 1, N = 20, d = 4;
+  Tensor q = Tensor::randn({B, h, N, d}, rng);
+  Tensor k = Tensor::randn({B, h, N, d}, rng);
+  Tensor v = Tensor::randn({B, h, N, d}, rng);
+  Tensor seed = Tensor::ones({B, h, N, d});
+  q.set({0, 0, 7, 2}, std::numeric_limits<float>::quiet_NaN());
+  AttnGrads want = reference_attention_grads(q, k, v, Tensor(), 0.5f, seed);
+  AttnGrads got = fused_attention_grads(q, k, v, Tensor(), 0.5f, seed);
+  const Tensor* w[] = {&want.dq, &want.dk, &want.dv};
+  const Tensor* g[] = {&got.dq, &got.dk, &got.dv};
+  for (int t = 0; t < 3; ++t) {
+    auto pw = w[t]->data();
+    auto pg = g[t]->data();
+    for (size_t i = 0; i < pw.size(); ++i)
+      EXPECT_EQ(std::isnan(pw[i]), std::isnan(pg[i]))
+          << "grad " << t << " flat index " << i;
+  }
+}
+
+TEST(Kernels, CheckpointedFusedAttentionGradsMatchDirect) {
+  // A checkpointed region recomputes through the same fused kernel as the
+  // direct training forward, so gradients must agree bitwise — this is the
+  // recompute-consistency contract that let attention stop consulting
+  // inside_checkpoint_region().
+  util::Rng rng(47);
+  coastal::testing::KernelConfigOverride guard;
+  ker::config().attn_fused_min_n = 1;  // fused even at this small N
+  nn::MultiHeadSelfAttention attn(16, 2, rng);
+  Tensor x = Tensor::randn({2, 40, 16}, rng);
+
+  auto grads_of = [&](bool ckpt) {
+    attn.zero_grad();
+    Tensor xl = x.detach();
+    xl.set_requires_grad(true);
+    Tensor y = ckpt ? nn::checkpoint(
+                          [&](const std::vector<Tensor>& in) {
+                            return attn.forward(in[0]);
+                          },
+                          {xl}, attn.parameters())
+                    : attn.forward(xl);
+    y.mul(y).sum().backward();
+    std::vector<float> flat(xl.grad().data().begin(), xl.grad().data().end());
+    for (auto& p : attn.parameters()) {
+      EXPECT_TRUE(p.grad().defined());
+      flat.insert(flat.end(), p.grad().data().begin(), p.grad().data().end());
+    }
+    return flat;
+  };
+  std::vector<float> direct = grads_of(false);
+  std::vector<float> ckpt = grads_of(true);
+  ASSERT_EQ(direct.size(), ckpt.size());
+  EXPECT_EQ(std::memcmp(direct.data(), ckpt.data(),
+                        direct.size() * sizeof(float)),
+            0)
+      << "checkpointed recompute diverged from the direct fused path";
+}
+
+TEST(Kernels, FusedAttentionRejectsRecordedMaskGradientLoudly) {
+  // The fused kernels treat the mask as a constant additive bias.  A mask
+  // that would receive a recorded gradient must be rejected with an error
+  // — even when q/k/v record nothing — never silently dropped; and the
+  // module router must send graph-carrying masks down the unfused path
+  // regardless of recording mode, so checkpoint initial passes and
+  // recomputes stay consistent.
+  util::Rng rng(49);
+  const int64_t B = 1, h = 2, N = 9, d = 4;
+  Tensor q = Tensor::randn({B, h, N, d}, rng);
+  Tensor k = Tensor::randn({B, h, N, d}, rng);
+  Tensor v = Tensor::randn({B, h, N, d}, rng);
+  Tensor mask = Tensor::zeros({1, N, N});
+  mask.set_requires_grad(true);
+  EXPECT_THROW(nn::fused_attention(q, k, v, mask, 0.5f),
+               coastal::util::CheckError);
+  {
+    // Under NoGrad the same call is legal (inference over trainable
+    // params) and matches the reference.
+    tensor::NoGradGuard ng;
+    Tensor got = nn::fused_attention(q, k, v, mask, 0.5f);
+    Tensor want = reference_attention(q, k, v, mask.detach(), 0.5f);
+    EXPECT_LT(coastal::testing::max_abs_diff(got, want), 1e-5);
+  }
+  // Module routing: a graph-carrying mask takes the unfused path in both
+  // recording modes — bitwise equal to a forced-unfused forward.
+  coastal::testing::KernelConfigOverride guard;
+  nn::MultiHeadSelfAttention attn(8, 2, rng);
+  Tensor x = Tensor::randn({1, 40, 8}, rng);
+  Tensor mask2 = Tensor::zeros({1, 40, 40});
+  mask2.set_requires_grad(true);
+  tensor::NoGradGuard ng;
+  ker::config().attn_fused_min_n = 1;
+  Tensor routed = attn.forward(x, mask2);
+  ker::config().attn_fused_min_n = 1000000;
+  Tensor unfused = attn.forward(x, mask2);
+  ASSERT_EQ(routed.shape(), unfused.shape());
+  EXPECT_EQ(std::memcmp(routed.raw(), unfused.raw(),
+                        static_cast<size_t>(routed.numel()) * sizeof(float)),
+            0);
+}
+
+TEST(Kernels, SoftmaxRowsPolynomialExpfStaysWithinTolerance) {
+  // softmax_rows now runs the branch-free polynomial expf (rel err
+  // <= ~2e-7); pin agreement against libm at double precision, including
+  // large-magnitude logits, and pin the unfused-vs-fused agreement this
+  // shared expf guarantees.
+  util::Rng rng(48);
+  Tensor x = Tensor::randn({13, 67}, rng).mul_scalar(10.0f);
+  tensor::NoGradGuard ng;
+  Tensor y = x.softmax_lastdim();
+  for (int64_t r = 0; r < 13; ++r) {
+    double mx = -1e300, denom = 0.0;
+    for (int64_t c = 0; c < 67; ++c) mx = std::max(mx, (double)x.at({r, c}));
+    for (int64_t c = 0; c < 67; ++c) denom += std::exp(x.at({r, c}) - mx);
+    for (int64_t c = 0; c < 67; ++c)
+      EXPECT_NEAR(y.at({r, c}), std::exp(x.at({r, c}) - mx) / denom, 1e-5)
+          << "row " << r << " col " << c;
+  }
+  // -1e9-masked logits must get weight exactly 0 (flush below -104), and a
+  // row poisoned by NaN stays all-NaN — same contract as libm expf.
+  Tensor m = Tensor::from_vector({1, 4}, {0.0f, -1e9f, 1.0f, -1e9f});
+  Tensor ym = m.softmax_lastdim();
+  EXPECT_EQ(ym.at({0, 1}), 0.0f);
+  EXPECT_EQ(ym.at({0, 3}), 0.0f);
+  EXPECT_NEAR(ym.at({0, 0}) + ym.at({0, 2}), 1.0f, 1e-6);
+  Tensor n = Tensor::from_vector(
+      {1, 3}, {0.0f, std::numeric_limits<float>::quiet_NaN(), 2.0f});
+  Tensor yn = n.softmax_lastdim();
+  for (int64_t c = 0; c < 3; ++c) EXPECT_TRUE(std::isnan(yn.at({0, c})));
 }
 
 TEST(Kernels, MatmulGradcheckThroughBlockedKernel) {

@@ -20,7 +20,9 @@ or via the CMake convenience target (runs the bench first):
 import argparse
 import json
 import os
+import subprocess
 import sys
+import time
 
 
 def die(message):
@@ -62,7 +64,44 @@ def main():
         # baselines), so the default must sit clearly above that.
         help="percent slowdown that counts as a regression (default: 25)",
     )
+    ap.add_argument(
+        "--run",
+        metavar="BENCH_BINARY",
+        help="run this bench_kernels binary first (producing --fresh in its "
+        "working directory), then diff — lets ctest register the whole "
+        "bench+diff pipeline as one test",
+    )
     args = ap.parse_args()
+
+    if args.run:
+        # The binary hardcodes its output name, writing BENCH_kernels.json
+        # into its cwd; run it where --fresh expects the file to land, and
+        # refuse a mismatched basename outright — otherwise a stale file at
+        # --fresh would be diffed as if it came from this run.
+        if os.path.basename(args.fresh) != "BENCH_kernels.json":
+            die(
+                f"--run writes BENCH_kernels.json; --fresh points at "
+                f"{args.fresh}, which that run would never produce"
+            )
+        workdir = os.path.dirname(os.path.abspath(args.fresh)) or "."
+        run_start = time.time()
+        try:
+            proc = subprocess.run([os.path.abspath(args.run)], cwd=workdir)
+        except OSError as e:
+            die(f"cannot run {args.run}: {e}")
+        if proc.returncode != 0:
+            die(f"{args.run} exited with status {proc.returncode}")
+        # The binary exits 0 even when it skipped or failed the JSON write
+        # (empty writer under --benchmark_filter, read-only file, full
+        # disk).  Diffing a stale file would be a silent false pass in the
+        # perf gate, so demand the file was actually refreshed by this run.
+        try:
+            fresh_mtime = os.path.getmtime(os.path.abspath(args.fresh))
+        except OSError as e:
+            die(f"{args.run} produced no {args.fresh}: {e}")
+        if fresh_mtime < run_start:
+            die(f"{args.fresh} was not refreshed by {args.run} — "
+                "stale results refused")
 
     base = load(args.baseline)
     fresh = load(args.fresh)
