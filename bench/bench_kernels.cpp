@@ -237,6 +237,27 @@ static void BM_TrainStep(benchmark::State& state) {
 }
 BENCHMARK(BM_TrainStep);
 
+static void BM_AllocChurn(benchmark::State& state) {
+  // Allocation-dominated elementwise chain at Swin-window-ish shapes:
+  // measures the storage layer (pool + episode arena), not the math.  The
+  // pre-pool engine was bimodal here — every op's std::vector landed on
+  // the glibc brk/mmap crossover — while the pooled steady state performs
+  // zero heap allocations per iteration (each iteration is one arena
+  // "episode", the core::rollout pattern).
+  const int64_t n = state.range(0);
+  util::Rng rng(12);
+  Tensor x = Tensor::randn({n, n}, rng);
+  Tensor y = Tensor::randn({n, n}, rng);
+  tensor::NoGradGuard ng;
+  for (auto _ : state) {
+    tensor::ArenaScope arena;
+    Tensor t = x.add(y).mul(x).relu().add_scalar(1.0f).sqrt();
+    benchmark::DoNotOptimize(t.raw());
+  }
+  state.SetItemsProcessed(state.iterations() * 5);  // tensors allocated
+}
+BENCHMARK(BM_AllocChurn)->Arg(64)->Arg(256);
+
 static void BM_SolverStep(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   ocean::Grid grid(n, n, 4, 400.0, 400.0);

@@ -32,6 +32,12 @@ std::vector<data::CenterFields> rollout(
   data::CenterFields ic_normalized;  // replaces truth IC after episode 0
 
   for (int e = 0; e < episodes; ++e) {
+    // All episode activations (sample tensors, the forward graph-free
+    // intermediates, the decoded output tensors) bump-allocate from one
+    // arena and release in bulk here — steady-state episodes perform zero
+    // per-op heap allocations.  Everything that outlives the episode
+    // (CenterFields frames) is plain vector data, not tensors.
+    tensor::ArenaScope arena;
     std::span<const data::CenterFields> window =
         truth.subspan(static_cast<size_t>(e * T), static_cast<size_t>(T) + 1);
     data::Sample sample = make_sample(spec, window);
@@ -70,6 +76,7 @@ std::vector<data::CenterFields> dual_rollout(
   std::vector<data::CenterFields> out;
   out.reserve(static_cast<size_t>(coarse_steps * Tf));
   for (int c = 0; c < coarse_steps; ++c) {
+    tensor::ArenaScope arena;  // bulk-release this fine episode's tensors
     std::span<const data::CenterFields> window = fine_truth.subspan(
         static_cast<size_t>(c * Tf), static_cast<size_t>(Tf) + 1);
     data::Sample sample = make_sample(fine_spec, window);

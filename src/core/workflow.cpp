@@ -87,6 +87,12 @@ WorkflowResult run_workflow(SurrogateModel& model,
   double t = start_time;
 
   for (int e = 0; e < episodes; ++e) {
+    // One arena per episode: the surrogate forward, decode, and
+    // verification tensors all bump-allocate and release in bulk at the
+    // end of the iteration (declared first so every tensor in the body
+    // dies before the scope does).  Escaping frames are CenterFields —
+    // plain vectors — so nothing tensor-backed leaves the episode.
+    tensor::ArenaScope arena;
     ++result.episodes;
     std::span<const data::CenterFields> window =
         truth.subspan(static_cast<size_t>(e * T), static_cast<size_t>(T) + 1);

@@ -25,7 +25,7 @@ Tensor split_qkv_head(const Tensor& qkv, int64_t heads, int which) {
   const int64_t hd = C / heads;
 
   // out[b, h, n, d] = qkv[b, n, which*C + h*hd + d]: a strided gather.
-  std::vector<float> out(static_cast<size_t>(B * heads * N * hd));
+  tensor::Storage out = tensor::Storage::uninit(B * heads * N * hd);
   ker::permute_gather(qkv.raw() + which * C, out.data(), {B, heads, N, hd},
                       {N * 3 * C, hd, 3 * C, 1});
 
@@ -34,7 +34,7 @@ Tensor split_qkv_head(const Tensor& qkv, int64_t heads, int which) {
       [B, N, C, heads, hd, which](const Tensor& g) -> std::vector<Tensor> {
         // Scatter g back into a zero [B, N, 3C] buffer; each (b, n) row is
         // written by exactly one task.
-        std::vector<float> gq(static_cast<size_t>(B * N * 3 * C), 0.0f);
+        tensor::Storage gq = tensor::Storage::zeros(B * N * 3 * C);
         const float* pg = g.raw();
         float* pout = gq.data();
         ker::parallel_for(B * N, C, [&](int64_t lo, int64_t hi) {
@@ -47,7 +47,7 @@ Tensor split_qkv_head(const Tensor& qkv, int64_t heads, int which) {
             }
           }
         });
-        return {Tensor::from_vector({B, N, 3 * C}, std::move(gq))};
+        return {Tensor::from_storage({B, N, 3 * C}, std::move(gq))};
       });
 }
 
@@ -60,7 +60,7 @@ Tensor merge_heads(const Tensor& x) {
   const int64_t C = heads * hd;
 
   // out[b, n, h*hd + d] = x[b, h, n, d]
-  std::vector<float> out(static_cast<size_t>(B * N * C));
+  tensor::Storage out = tensor::Storage::uninit(B * N * C);
   ker::permute_gather(x.raw(), out.data(), {B, N, heads, hd},
                       {heads * N * hd, hd, N * hd, 1});
 
@@ -68,10 +68,10 @@ Tensor merge_heads(const Tensor& x) {
       {B, N, C}, std::move(out), "merge_heads", {x},
       [B, N, C, heads, hd](const Tensor& g) -> std::vector<Tensor> {
         // The inverse is also a pure gather: gx[b, h, n, d] = g[b, n, h*hd+d].
-        std::vector<float> gx(static_cast<size_t>(B * heads * N * hd));
+        tensor::Storage gx = tensor::Storage::uninit(B * heads * N * hd);
         ker::permute_gather(g.raw(), gx.data(), {B, heads, N, hd},
                             {N * C, hd, C, 1});
-        return {Tensor::from_vector({B, heads, N, hd}, std::move(gx))};
+        return {Tensor::from_storage({B, heads, N, hd}, std::move(gx))};
       });
 }
 
@@ -85,10 +85,26 @@ Tensor fused_attention(const Tensor& q, const Tensor& k, const Tensor& v,
   const int64_t hd = q.shape()[3];
   const int64_t nbatch = B * heads;
 
+  // The fused kernels treat the mask as a constant additive bias.  Reject
+  // any recorded mask gradient loudly — even when q/k/v record nothing —
+  // instead of silently returning a graph that never populates mask.grad.
+  COASTAL_CHECK_MSG(!(tensor::grad_enabled() && carries_graph(mask)),
+                    "fused_attention treats the mask as a constant bias; "
+                    "a differentiable mask must take the unfused path");
+  const bool record = tensor::grad_enabled() &&
+                      (carries_graph(q) || carries_graph(k) ||
+                       carries_graph(v));
+
   // Per-(batch × head) additive-bias offsets: batch b uses mask group
   // b % groups (window index is the fastest-varying component of B).
+  // Inference rebuilds them into per-thread workspace scratch (retained
+  // capacity — no allocation in steady state); the training path keeps a
+  // local vector because the backward lambda captures it by value.
   const float* mask_ptr = nullptr;
-  std::vector<int64_t> mask_off;
+  std::vector<int64_t> mask_off_local;
+  std::vector<int64_t>& mask_off =
+      record ? mask_off_local : tensor::workspace().mask_off;
+  mask_off.clear();
   if (mask.defined()) {
     COASTAL_CHECK(mask.ndim() == 3 && mask.shape()[1] == N &&
                   mask.shape()[2] == N);
@@ -102,21 +118,11 @@ Tensor fused_attention(const Tensor& q, const Tensor& k, const Tensor& v,
       mask_off[static_cast<size_t>(e)] = ((e / heads) % groups) * N * N;
   }
 
-  // The fused kernels treat the mask as a constant additive bias.  Reject
-  // any recorded mask gradient loudly — even when q/k/v record nothing —
-  // instead of silently returning a graph that never populates mask.grad.
-  COASTAL_CHECK_MSG(!(tensor::grad_enabled() && carries_graph(mask)),
-                    "fused_attention treats the mask as a constant bias; "
-                    "a differentiable mask must take the unfused path");
-  const bool record = tensor::grad_enabled() &&
-                      (carries_graph(q) || carries_graph(k) ||
-                       carries_graph(v));
-
-  std::vector<float> out(static_cast<size_t>(nbatch * N * hd));
+  tensor::Storage out = tensor::Storage::uninit(nbatch * N * hd);
   if (!record) {
     ker::attention_fused(q.raw(), k.raw(), v.raw(), out.data(), nbatch, N, N,
                          hd, scale, mask_ptr, mask_off);
-    return Tensor::from_vector({B, heads, N, hd}, std::move(out));
+    return Tensor::from_storage({B, heads, N, hd}, std::move(out));
   }
 
   // Training forward: same kernel, but save the per-row (max, exp-sum)
@@ -147,18 +153,21 @@ Tensor fused_attention(const Tensor& q, const Tensor& k, const Tensor& v,
         const std::shared_ptr<tensor::TensorImpl> o_impl = o_slot->lock();
         COASTAL_CHECK_MSG(o_impl != nullptr,
                           "fused_attention backward ran without its output");
-        std::vector<float> dq(static_cast<size_t>(nbatch * N * hd));
-        std::vector<float> dk(static_cast<size_t>(nbatch * N * hd));
-        std::vector<float> dv(static_cast<size_t>(nbatch * N * hd));
+        tensor::Storage dq = tensor::Storage::uninit(nbatch * N * hd);
+        tensor::Storage dk = tensor::Storage::uninit(nbatch * N * hd);
+        tensor::Storage dv = tensor::Storage::uninit(nbatch * N * hd);
         ker::attention_fused_backward(
             qt.raw(), kt.raw(), vt.raw(), o_impl->data.data(), g.raw(),
             stats->data(), dq.data(), dk.data(), dv.data(), nbatch, N, N, hd,
             scale, has_mask ? mt.raw() : nullptr, mask_off);
         std::vector<Tensor> grads;
         grads.reserve(has_mask ? 4 : 3);
-        grads.push_back(Tensor::from_vector({B, heads, N, hd}, std::move(dq)));
-        grads.push_back(Tensor::from_vector({B, heads, N, hd}, std::move(dk)));
-        grads.push_back(Tensor::from_vector({B, heads, N, hd}, std::move(dv)));
+        grads.push_back(
+            Tensor::from_storage({B, heads, N, hd}, std::move(dq)));
+        grads.push_back(
+            Tensor::from_storage({B, heads, N, hd}, std::move(dk)));
+        grads.push_back(
+            Tensor::from_storage({B, heads, N, hd}, std::move(dv)));
         if (has_mask) grads.emplace_back();  // constant additive bias
         return grads;
       });
@@ -219,7 +228,7 @@ Tensor MultiHeadSelfAttention::forward(const Tensor& x,
   // recorded mask gradient loudly.)
   const bool mask_grad = carries_graph(mask);
   Tensor out;  // [B, h, N, d]
-  if (N >= ker::config().attn_fused_min_n && !mask_grad) {
+  if (N >= ker::fused_attention_min_n(head_dim_) && !mask_grad) {
     out = fused_attention(q, k, v, mask, scale_);
   } else {
     Tensor scores =

@@ -24,7 +24,7 @@ Tensor checkpoint(const std::function<Tensor(const std::vector<Tensor>&)>& fn,
 
   // Forward without recording: interior activations die immediately.
   tensor::Shape out_shape;
-  std::vector<float> out_data;
+  tensor::Storage out_data;
   {
     tensor::NoGradGuard ng;
     // Marks the region for fast paths that are NOT recompute-consistent
@@ -34,7 +34,7 @@ Tensor checkpoint(const std::function<Tensor(const std::vector<Tensor>&)>& fn,
     CheckpointRegionGuard region;
     Tensor out = fn(inputs);
     out_shape = out.shape();
-    out_data.assign(out.data().begin(), out.data().end());
+    out_data = tensor::Storage::copy_of(out.raw(), out.numel());
   }
 
   const size_t nparams = params.size();

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "parallel/thread_pool.hpp"
+#include "tensor/storage.hpp"
 
 namespace coastal::tensor::kernels {
 
@@ -33,6 +34,28 @@ int resolved_threads() {
   // this on every kernel invocation, so resolve it once.
   static const int hw = std::max(1u, std::thread::hardware_concurrency());
   return hw;
+}
+
+int64_t fused_attention_min_n(int64_t head_dim) {
+  const int64_t v = config().attn_fused_min_n;
+  if (v > 0) return v;
+  // Measured on the 1-CPU reference host (PR 4), module-level
+  // MultiHeadSelfAttention forward and forward+backward, fused vs
+  // unfused, sweeping N per head dim (B=8, 4 heads).  The storage pool
+  // moved these crossovers *up* dramatically: the unfused path used to be
+  // allocation-bound (PR 3 notes called it bimodal), and with its [N, N]
+  // tensors now recycled it beats the streaming kernel on raw speed until
+  // the materialized nbatch·N² score working set falls out of cache
+  // (observed as a 4-6x unfused collapse between N=512 and N=768).
+  // Per-dim structure: d=16 pays for a weak register tiling in the
+  // templated task (ROADMAP follow-up), and d=64's unfused GEMMs run near
+  // peak (k=64 inner dim) so its crossover is far higher.  Above the
+  // threshold the fused path also wins on memory by construction — it
+  // never materializes the score tensor.
+  if (head_dim >= 64) return 1280;
+  if (head_dim >= 32) return 576;
+  if (head_dim >= 16) return 768;
+  return 640;
 }
 
 void parallel_for(int64_t total, int64_t cost_per_item,
@@ -148,20 +171,18 @@ void micro_kernel(int64_t kc, const float* __restrict Ap,
   }
 }
 
-/// Per-thread A-panel packing scratch; pool workers are long-lived so the
-/// allocation amortizes to zero.  B panels are packed once per GEMM call
-/// into a buffer shared by every row-block task (see gemm_batched).
-thread_local std::vector<float> t_apack;
-
-/// B-pack scratch retained in warm thread_local pages below this cap (a
-/// fresh allocation per call costs mmap + page faults, measurable at
-/// microsecond GEMM sizes) and allocated per call above it, so no thread
-/// permanently holds more than the cap.
+/// B-pack scratch is retained in the warm per-thread Workspace buffer
+/// below this cap (a fresh allocation per call costs mmap + page faults,
+/// measurable at microsecond GEMM sizes) and allocated per call above it,
+/// so no thread permanently holds more than the cap.  A-panel scratch
+/// (Workspace::gemm_apack) is Mc×Kc-bounded and always retained.
 constexpr int64_t kBpackKeepFloats = int64_t{1} << 20;  // 4 MB
 
 /// Selects the packing destination per the policy above — the single
 /// definition both gemm_batched paths share, so their retention behavior
-/// can never drift apart.
+/// can never drift apart.  `warm` must be Workspace::gemm_bpack of the
+/// packing thread: it is never resized while another buffer from the same
+/// workspace (gemm_apack) is in flight, so pointers stay stable.
 float* pack_scratch(int64_t need, std::vector<float>& warm,
                     std::vector<float>& local) {
   if (need <= kBpackKeepFloats) {
@@ -191,17 +212,18 @@ void gemm_rowblock(const float* A, const float* Bp, float* C, int64_t mb,
   const int64_t nc_max =
       std::max<int64_t>(kNR, (cfg.gemm_nc / kNR) * kNR);
   const int64_t npad = ceil_div(n, kNR) * kNR;
-  t_apack.resize(static_cast<size_t>(ceil_div(mb, kMR) * kMR * kc_max));
+  std::vector<float>& apack = workspace().gemm_apack;
+  apack.resize(static_cast<size_t>(ceil_div(mb, kMR) * kMR * kc_max));
   for (int64_t pc = 0; pc < k; pc += kc_max) {
     const int64_t kc = std::min(kc_max, k - pc);
-    pack_a(A + pc, k, mb, kc, t_apack.data());
+    pack_a(A + pc, k, mb, kc, apack.data());
     const float* bpc = Bp + pc * npad;
     for (int64_t jc = 0; jc < n; jc += nc_max) {
       const int64_t nc = std::min(nc_max, n - jc);
       for (int64_t jr = 0; jr < nc; jr += kNR) {
         const float* bp = bpc + (jc + jr) * kc;
         for (int64_t ir = 0; ir < mb; ir += kMR) {
-          const float* ap = t_apack.data() + (ir / kMR) * kc * kMR;
+          const float* ap = apack.data() + (ir / kMR) * kc * kMR;
           micro_kernel(kc, ap, bp, C + ir * n + jc + jr, n,
                        std::min(kMR, mb - ir), std::min(kNR, nc - jr));
         }
@@ -287,9 +309,8 @@ void gemm_batched(const float* A, const float* B, float* C, int64_t m,
                      nbatch * nblocks > static_cast<int64_t>(uniq.size());
   if (!share) {
     parallel_for(nbatch * nblocks, mc * k * n, [&](int64_t lo, int64_t hi) {
-      thread_local std::vector<float> t_bpack_task;
       std::vector<float> local;
-      float* img = pack_scratch(bstride, t_bpack_task, local);
+      float* img = pack_scratch(bstride, workspace().gemm_bpack, local);
       int64_t packed_off = -1;  // b_off currently packed into img
       for (int64_t t = lo; t < hi; ++t) {
         const int64_t b = t / nblocks;
@@ -312,9 +333,11 @@ void gemm_batched(const float* A, const float* B, float* C, int64_t m,
     return;
   }
 
-  thread_local std::vector<float> t_bpack_shared;
+  // Caller-thread warm buffer: the row-block tasks below only read it
+  // (and only resize their own gemm_apack), so the pointer stays stable
+  // across the parallel_for.
   std::vector<float> bpack_local;
-  float* bpack = pack_scratch(need, t_bpack_shared, bpack_local);
+  float* bpack = pack_scratch(need, workspace().gemm_bpack, bpack_local);
   const int64_t pack_tasks = static_cast<int64_t>(uniq.size()) * kcblocks;
   if (pack_tasks == 1) {
     // Single image, single k-panel: skip the dispatch (tiny GEMMs sit in
@@ -396,12 +419,6 @@ inline float fast_expf(float x) {
   return x != x ? x : r;       // preserve NaN
 }
 
-/// Per-thread fused-attention scratch: packed K^T block, score block, and
-/// the online-softmax state (row max, row sum, output accumulator).
-thread_local std::vector<float> t_attn_kt;
-thread_local std::vector<float> t_attn_s;
-thread_local std::vector<float> t_attn_stat;
-
 /// Reduction lane count for the block max / row sum below — one AVX-512
 /// vector of floats.  Lane decomposition is fixed at compile time, so the
 /// (re)association pattern is identical on every host and thread count.
@@ -439,6 +456,21 @@ inline float lane_sum(const float* __restrict x, int64_t n) {
   return sum;
 }
 
+/// Lane-strided dot product of a[0, n)·b[0, n) — same fixed association
+/// family as lane_sum; the softmax backward's per-row Σ g·y reduction
+/// (a serial fma chain before) vectorizes through this.
+inline float lane_dot(const float* __restrict a, const float* __restrict b,
+                      int64_t n) {
+  float part[kAttnLanes] = {};
+  int64_t i = 0;
+  for (; i + kAttnLanes <= n; i += kAttnLanes)
+    for (int u = 0; u < kAttnLanes; ++u) part[u] += a[i + u] * b[i + u];
+  float sum = 0.0f;
+  for (int u = 0; u < kAttnLanes; ++u) sum += part[u];
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
 /// One (batch entry, query row block) of flash attention.  KV blocks are
 /// consumed in ascending order and every reduction (over d in the score
 /// dot, over lanes in the max/sum scans, over blocks in the recurrence)
@@ -456,12 +488,15 @@ void attention_task(const float* Qb, const float* Kb, const float* Vb,
                     int64_t rt_d, float scale, int64_t bc_max,
                     float* stats_out) {
   const int64_t d = D > 0 ? D : rt_d;
-  t_attn_kt.resize(static_cast<size_t>(d * bc_max));
-  t_attn_s.resize(static_cast<size_t>(rows * bc_max));
-  t_attn_stat.resize(static_cast<size_t>(rows * (d + 2)));
-  float* kt = t_attn_kt.data();
-  float* s = t_attn_s.data();
-  float* m = t_attn_stat.data();          // running row max
+  // Per-thread Workspace scratch: packed K^T block, score block, and the
+  // online-softmax state (row max, row sum, output accumulator).
+  Workspace& ws = workspace();
+  ws.attn_kt.resize(static_cast<size_t>(d * bc_max));
+  ws.attn_scores.resize(static_cast<size_t>(rows * bc_max));
+  ws.attn_stat.resize(static_cast<size_t>(rows * (d + 2)));
+  float* kt = ws.attn_kt.data();
+  float* s = ws.attn_scores.data();
+  float* m = ws.attn_stat.data();         // running row max
   float* l = m + rows;                    // running row sum of exp
   float* acc = l + rows;                  // [rows, d] output accumulator
   constexpr float kNegInf = -std::numeric_limits<float>::infinity();
@@ -602,14 +637,6 @@ void attention_fused(const float* Q, const float* K, const float* V, float* O,
 
 namespace {
 
-/// Per-thread fused-backward scratch: packed Kᵀ/Vᵀ blocks, the rebuilt
-/// probability row, the dO·Vᵀ row, and Δ_i = Σ_d dO∘O per query row.
-thread_local std::vector<float> t_attn_bwd_kt;
-thread_local std::vector<float> t_attn_bwd_vt;
-thread_local std::vector<float> t_attn_bwd_p;
-thread_local std::vector<float> t_attn_bwd_dp;
-thread_local std::vector<float> t_attn_bwd_delta;
-
 /// One (batch × head) entry of the recompute-based flash backward.  KV
 /// blocks stream in ascending order and query rows are visited in
 /// ascending order inside each block, so every accumulation into
@@ -627,16 +654,19 @@ void attention_bwd_task(const float* Qb, const float* Kb, const float* Vb,
                         float* dKb, float* dVb, int64_t nq, int64_t nkv,
                         int64_t rt_d, float scale, int64_t bc_max) {
   const int64_t d = D > 0 ? D : rt_d;
-  t_attn_bwd_kt.resize(static_cast<size_t>(d * bc_max));
-  t_attn_bwd_vt.resize(static_cast<size_t>(d * bc_max));
-  t_attn_bwd_p.resize(static_cast<size_t>(bc_max));
-  t_attn_bwd_dp.resize(static_cast<size_t>(bc_max));
-  t_attn_bwd_delta.resize(static_cast<size_t>(nq));
-  float* kt = t_attn_bwd_kt.data();
-  float* vt = t_attn_bwd_vt.data();
-  float* p = t_attn_bwd_p.data();
-  float* dp = t_attn_bwd_dp.data();
-  float* delta = t_attn_bwd_delta.data();
+  // Per-thread Workspace scratch: packed Kᵀ/Vᵀ blocks, the rebuilt
+  // probability row, the dO·Vᵀ row, and Δ_i = Σ_d dO∘O per query row.
+  Workspace& ws = workspace();
+  ws.attn_bwd_kt.resize(static_cast<size_t>(d * bc_max));
+  ws.attn_bwd_vt.resize(static_cast<size_t>(d * bc_max));
+  ws.attn_bwd_p.resize(static_cast<size_t>(bc_max));
+  ws.attn_bwd_dp.resize(static_cast<size_t>(bc_max));
+  ws.attn_bwd_delta.resize(static_cast<size_t>(nq));
+  float* kt = ws.attn_bwd_kt.data();
+  float* vt = ws.attn_bwd_vt.data();
+  float* p = ws.attn_bwd_p.data();
+  float* dp = ws.attn_bwd_dp.data();
+  float* delta = ws.attn_bwd_delta.data();
   std::fill(dQb, dQb + nq * d, 0.0f);
   std::fill(dKb, dKb + nkv * d, 0.0f);
   std::fill(dVb, dVb + nkv * d, 0.0f);
@@ -802,9 +832,12 @@ void softmax_backward_rows(const float* g, const float* y, float* gx,
     for (int64_t r = lo; r < hi; ++r) {
       const float* grow = g + r * cols;
       const float* orow = y + r * cols;
-      float dot = 0.0f;
-      for (int64_t c = 0; c < cols; ++c) dot += grow[c] * orow[c];
-      float* gxr = gx + r * cols;
+      // Lane-strided Σ g·y (the serial fma chain bottlenecked on add
+      // latency and kept the whole kernel scalar), then an elementwise
+      // pass the compiler vectorizes.  Association fixed at compile time
+      // — rows stay bitwise identical across thread counts.
+      const float dot = lane_dot(grow, orow, cols);
+      float* __restrict gxr = gx + r * cols;
       for (int64_t c = 0; c < cols; ++c) gxr[c] = orow[c] * (grow[c] - dot);
     }
   });
@@ -815,6 +848,14 @@ void layer_norm_rows(const float* x, const float* gamma, const float* beta,
                      int64_t cols, float eps) {
   const double inv_n = 1.0 / static_cast<double>(cols);
   parallel_for(rows, cols * 4, [&](int64_t lo, int64_t hi) {
+    // No-stash callers (inference / checkpoint initial passes) still run
+    // the exact inner loop the training forward runs — a second,
+    // store-free loop could be compiled with different FMA contraction
+    // and break the bitwise checkpoint-recompute contract.  Their stash
+    // stores land in one reused L1-resident workspace row instead of a
+    // streamed numel-sized buffer.
+    std::vector<float>& stash_row = workspace().ln_stash_row;
+    if (xhat == nullptr) stash_row.resize(static_cast<size_t>(cols));
     for (int64_t r = lo; r < hi; ++r) {
       const float* row = x + r * cols;
       // Single pass: sum and sum-of-squares in double, then
@@ -828,10 +869,10 @@ void layer_norm_rows(const float* x, const float* gamma, const float* beta,
       const double mu = s * inv_n;
       const double var = std::max(0.0, sq * inv_n - mu * mu);
       const float is = 1.0f / std::sqrt(static_cast<float>(var) + eps);
-      invstd[r] = is;
+      if (invstd != nullptr) invstd[r] = is;
       const float muf = static_cast<float>(mu);
-      float* xh = xhat + r * cols;
       float* orow = y + r * cols;
+      float* xh = xhat != nullptr ? xhat + r * cols : stash_row.data();
       for (int64_t c = 0; c < cols; ++c) {
         const float h = (row[c] - muf) * is;
         xh[c] = h;
@@ -847,24 +888,43 @@ void layer_norm_backward_rows(const float* g, const float* gamma,
                               int64_t rows, int64_t cols) {
   // gx is row-parallel; the gamma/beta column reductions must stay in a
   // fixed row order for determinism, so they run serially afterwards.
+  // The two per-row means accumulate in double over fixed lane strides
+  // (8 doubles = one AVX-512 vector): the serial double chains dominated
+  // the row cost, and the association is compile-time fixed so rows stay
+  // bitwise identical everywhere.
+  constexpr int kDLanes = 8;
   parallel_for(rows, cols * 6, [&](int64_t lo, int64_t hi) {
     for (int64_t r = lo; r < hi; ++r) {
-      const float* grow = g + r * cols;
-      const float* xh = xhat + r * cols;
+      const float* __restrict grow = g + r * cols;
+      const float* __restrict xh = xhat + r * cols;
       const float is = invstd[r];
+      double p0[kDLanes] = {}, p1[kDLanes] = {};
+      int64_t c = 0;
+      for (; c + kDLanes <= cols; c += kDLanes) {
+        for (int u = 0; u < kDLanes; ++u) {
+          const float dxh = grow[c + u] * gamma[c + u];
+          p0[u] += dxh;
+          p1[u] += static_cast<double>(dxh) * xh[c + u];
+        }
+      }
       double mean_dxhat = 0.0, mean_dxhat_xhat = 0.0;
-      for (int64_t c = 0; c < cols; ++c) {
+      for (int u = 0; u < kDLanes; ++u) {
+        mean_dxhat += p0[u];
+        mean_dxhat_xhat += p1[u];
+      }
+      for (; c < cols; ++c) {
         const float dxh = grow[c] * gamma[c];
         mean_dxhat += dxh;
         mean_dxhat_xhat += static_cast<double>(dxh) * xh[c];
       }
       mean_dxhat /= static_cast<double>(cols);
       mean_dxhat_xhat /= static_cast<double>(cols);
-      float* gxr = gx + r * cols;
-      for (int64_t c = 0; c < cols; ++c) {
-        const float dxh = grow[c] * gamma[c];
-        gxr[c] = is * (dxh - static_cast<float>(mean_dxhat) -
-                       xh[c] * static_cast<float>(mean_dxhat_xhat));
+      const float m0 = static_cast<float>(mean_dxhat);
+      const float m1 = static_cast<float>(mean_dxhat_xhat);
+      float* __restrict gxr = gx + r * cols;
+      for (int64_t j = 0; j < cols; ++j) {
+        const float dxh = grow[j] * gamma[j];
+        gxr[j] = is * (dxh - m0 - xh[j] * m1);
       }
     }
   });

@@ -19,6 +19,11 @@
 /// Threading is provided by `par::ThreadPool::global()`; kernels fall back
 /// to serial execution for small problems (see KernelConfig thresholds) and
 /// when already running inside a pool worker (no nested parallelism).
+///
+/// All transient kernel scratch (GEMM packing panels, fused-attention
+/// blocks and statistics) lives in the per-thread `tensor::Workspace`
+/// (storage.hpp): grow-only buffers reused across calls, so steady-state
+/// kernel execution allocates nothing inside parallel_for tasks.
 
 #include <cstdint>
 #include <functional>
@@ -64,16 +69,28 @@ struct KernelConfig {
   int64_t attn_bkv = 128;  ///< K/V rows streamed per inner block
 
   /// `nn::MultiHeadSelfAttention` routes forwards — inference *and*
-  /// training — through the fused kernels only when the token count N is at
-  /// least this; below it the unfused reference path wins (per-block
-  /// bookkeeping dominates at tiny windows).  The same gate governs the
-  /// forward and the recompute-based backward so a checkpointed region's
-  /// initial pass and its backward-time recompute always pick the same
-  /// path.
-  int64_t attn_fused_min_n = 32;
+  /// training — through the fused kernels only when the token count N is
+  /// at least `fused_attention_min_n(head_dim)`; below it the unfused
+  /// reference path wins.  0 = auto: a head-dim-aware default table
+  /// measured against the pooled-storage unfused baseline — the PR 4
+  /// pool made the unfused path so much faster (it was allocator-bound)
+  /// that the speed crossover now sits where the materialized [N, N]
+  /// score working set falls out of cache.  Any positive value overrides
+  /// the table for every head dim (tests pin paths this way; deployments
+  /// that care about peak activation memory more than latency can set a
+  /// small value to force streaming attention).  The same gate governs
+  /// the forward and the recompute-based backward so a checkpointed
+  /// region's initial pass and its backward-time recompute always pick
+  /// the same path.
+  int64_t attn_fused_min_n = 0;
 };
 
 KernelConfig& config();
+
+/// Resolved fused-attention gate for a given head dim: the explicit
+/// `config().attn_fused_min_n` when positive, else the measured
+/// head-dim-aware default (see KernelConfig::attn_fused_min_n).
+int64_t fused_attention_min_n(int64_t head_dim);
 
 /// Threads the kernels will actually chunk for: `config().num_threads`, or
 /// the `COASTAL_NUM_THREADS` env var, or hardware concurrency.
@@ -186,12 +203,20 @@ void attention_fused_backward(const float* Q, const float* K, const float* V,
 /// and thread counts; NaN/±inf rows poison exactly as with libm expf.
 void softmax_rows(const float* x, float* y, int64_t rows, int64_t cols);
 
-/// gx = softmax backward from output y and upstream g.
+/// gx = softmax backward from output y and upstream g.  The per-row
+/// g·y dot uses the same fixed lane-strided association as softmax_rows
+/// (the serial dependence chain kept this kernel scalar), so rows are
+/// bitwise identical across hosts and thread counts.
 void softmax_backward_rows(const float* g, const float* y, float* gx,
                            int64_t rows, int64_t cols);
 
 /// Layer norm over rows; writes normalized activations to `y`, and the
-/// backward stash `xhat` (normalized pre-affine) and `invstd` per row.
+/// backward stash `xhat` (normalized pre-affine) and `invstd` per row —
+/// both optional: pass nullptr (inference does) and the stash stores are
+/// redirected into one L1-resident workspace row, eliminating a
+/// numel-sized stream while keeping the *same* inner loop as the stashed
+/// path (so a checkpoint region's no-grad initial pass stays bitwise
+/// identical to its recompute under any FMA-contraction choice).
 /// Single pass over x per row (sum + sum-of-squares in double).
 void layer_norm_rows(const float* x, const float* gamma, const float* beta,
                      float* y, float* xhat, float* invstd, int64_t rows,
@@ -199,7 +224,10 @@ void layer_norm_rows(const float* x, const float* gamma, const float* beta,
 
 /// Layer norm backward.  `gx` is [rows, cols]; `ggamma`/`gbeta` are [cols]
 /// and must be zero-initialized (column reductions are accumulated rowwise
-/// in a fixed order).
+/// in a fixed order).  The per-row mean(dxhat) / mean(dxhat·xhat)
+/// reductions accumulate in double over fixed lane strides (serial
+/// dependence chains kept them scalar), so rows stay bitwise identical
+/// across hosts and thread counts.
 void layer_norm_backward_rows(const float* g, const float* gamma,
                               const float* xhat, const float* invstd,
                               float* gx, float* ggamma, float* gbeta,

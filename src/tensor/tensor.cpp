@@ -1,7 +1,6 @@
 #include "tensor/tensor.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <unordered_map>
@@ -12,42 +11,24 @@
 namespace coastal::tensor {
 
 // ---------------------------------------------------------------------------
-// Allocation accounting
+// Impl construction (allocation accounting lives in storage.cpp now)
 // ---------------------------------------------------------------------------
 
-namespace {
-std::atomic<uint64_t> g_current_bytes{0};
-std::atomic<uint64_t> g_peak_bytes{0};
-std::atomic<uint64_t> g_total_allocs{0};
-
-void note_alloc(uint64_t bytes) {
-  const uint64_t cur = g_current_bytes.fetch_add(bytes) + bytes;
-  g_total_allocs.fetch_add(1);
-  uint64_t peak = g_peak_bytes.load();
-  while (cur > peak && !g_peak_bytes.compare_exchange_weak(peak, cur)) {
-  }
-}
-
-void note_free(uint64_t bytes) { g_current_bytes.fetch_sub(bytes); }
-
-thread_local bool t_grad_enabled = true;
-}  // namespace
-
-AllocStats alloc_stats() {
-  return {g_current_bytes.load(), g_peak_bytes.load(), g_total_allocs.load()};
-}
-
-void reset_peak_bytes() { g_peak_bytes.store(g_current_bytes.load()); }
-
-TensorImpl::TensorImpl(Shape s, std::vector<float> d)
+TensorImpl::TensorImpl(Shape s, Storage d)
     : shape(std::move(s)), data(std::move(d)) {
-  COASTAL_CHECK_MSG(static_cast<int64_t>(data.size()) == tensor::numel(shape),
+  COASTAL_CHECK_MSG(data.size() == tensor::numel(shape),
                     "data size " << data.size() << " != numel of "
                                  << shape_str(shape));
-  note_alloc(data.size() * sizeof(float));
 }
 
-TensorImpl::~TensorImpl() { note_free(data.size() * sizeof(float)); }
+TensorImpl::TensorImpl(Shape s, std::vector<float> d)
+    : TensorImpl(std::move(s), Storage::adopt(std::move(d))) {}
+
+TensorImpl::~TensorImpl() = default;
+
+namespace {
+thread_local bool t_grad_enabled = true;
+}  // namespace
 
 bool grad_enabled() { return t_grad_enabled; }
 
@@ -74,8 +55,7 @@ bool needs_graph(const std::vector<Tensor>& parents) {
 }
 
 Tensor make_result(
-    Shape shape, std::vector<float> data, const char* name,
-    std::vector<Tensor> parents,
+    Shape shape, Storage data, const char* name, std::vector<Tensor> parents,
     std::function<std::vector<Tensor>(const Tensor&)> backward) {
   auto impl = std::make_shared<TensorImpl>(std::move(shape), std::move(data));
   if (needs_graph(parents)) {
@@ -105,14 +85,14 @@ void add_into(Tensor& acc, const Tensor& g) {
 Tensor broadcast_to(const Tensor& t, const Shape& target) {
   if (t.shape() == target) return t;
   const Shape bstr = broadcast_strides(t.shape(), target);
-  std::vector<float> out(static_cast<size_t>(tensor::numel(target)));
+  Storage out = Storage::uninit(tensor::numel(target));
   CoordIter it(target);
   const float* src = t.raw();
-  size_t k = 0;
+  int64_t k = 0;
   do {
     out[k++] = src[dot_strides(it.coords(), bstr)];
   } while (it.next());
-  return Tensor::from_vector(target, std::move(out));
+  return Tensor::from_storage(target, std::move(out));
 }
 
 int normalize_axis(int axis, size_t ndim) {
@@ -129,38 +109,39 @@ int normalize_axis(int axis, size_t ndim) {
 // ---------------------------------------------------------------------------
 
 Tensor Tensor::zeros(const Shape& shape) {
-  return Tensor(std::make_shared<TensorImpl>(
-      shape, std::vector<float>(static_cast<size_t>(tensor::numel(shape)), 0.0f)));
+  return from_storage(shape, Storage::zeros(tensor::numel(shape)));
 }
 
 Tensor Tensor::ones(const Shape& shape) { return full(shape, 1.0f); }
 
 Tensor Tensor::full(const Shape& shape, float value) {
-  return Tensor(std::make_shared<TensorImpl>(
-      shape,
-      std::vector<float>(static_cast<size_t>(tensor::numel(shape)), value)));
+  return from_storage(shape, Storage::full(tensor::numel(shape), value));
 }
 
 Tensor Tensor::from_vector(const Shape& shape, std::vector<float> values) {
-  return Tensor(std::make_shared<TensorImpl>(shape, std::move(values)));
+  return from_storage(shape, Storage::adopt(std::move(values)));
+}
+
+Tensor Tensor::from_storage(const Shape& shape, Storage data) {
+  return Tensor(std::make_shared<TensorImpl>(shape, std::move(data)));
 }
 
 Tensor Tensor::randn(const Shape& shape, util::Rng& rng, float stddev) {
-  std::vector<float> v(static_cast<size_t>(tensor::numel(shape)));
+  Storage v = Storage::uninit(tensor::numel(shape));
   for (auto& x : v) x = static_cast<float>(rng.normal(0.0, stddev));
-  return from_vector(shape, std::move(v));
+  return from_storage(shape, std::move(v));
 }
 
 Tensor Tensor::uniform(const Shape& shape, util::Rng& rng, float lo, float hi) {
-  std::vector<float> v(static_cast<size_t>(tensor::numel(shape)));
+  Storage v = Storage::uninit(tensor::numel(shape));
   for (auto& x : v) x = static_cast<float>(rng.uniform(lo, hi));
-  return from_vector(shape, std::move(v));
+  return from_storage(shape, std::move(v));
 }
 
 Tensor Tensor::arange(int64_t n) {
-  std::vector<float> v(static_cast<size_t>(n));
-  for (int64_t i = 0; i < n; ++i) v[static_cast<size_t>(i)] = static_cast<float>(i);
-  return from_vector({n}, std::move(v));
+  Storage v = Storage::uninit(n);
+  for (int64_t i = 0; i < n; ++i) v[i] = static_cast<float>(i);
+  return from_storage({n}, std::move(v));
 }
 
 // ---------------------------------------------------------------------------
@@ -175,13 +156,13 @@ float Tensor::item() const {
 float Tensor::at(const std::vector<int64_t>& coords) const {
   COASTAL_CHECK(coords.size() == ndim());
   const Shape st = strides_of(shape());
-  return impl_->data[static_cast<size_t>(dot_strides(coords, st))];
+  return impl_->data[dot_strides(coords, st)];
 }
 
 void Tensor::set(const std::vector<int64_t>& coords, float v) {
   COASTAL_CHECK(coords.size() == ndim());
   const Shape st = strides_of(shape());
-  impl_->data[static_cast<size_t>(dot_strides(coords, st))] = v;
+  impl_->data[dot_strides(coords, st)] = v;
 }
 
 // ---------------------------------------------------------------------------
@@ -280,9 +261,7 @@ void Tensor::backward(const Tensor& seed) const {
 }
 
 Tensor Tensor::detach() const {
-  return Tensor::from_vector(shape(),
-                             std::vector<float>(impl_->data.begin(),
-                                                impl_->data.end()));
+  return from_storage(shape(), Storage::copy_of(raw(), numel()));
 }
 
 Tensor Tensor::clone() const { return detach(); }
@@ -293,13 +272,11 @@ Tensor Tensor::clone() const { return detach(); }
 
 namespace {
 
-std::vector<float> broadcast_apply(const Tensor& a, const Tensor& b,
-                                   const Shape& out_shape,
-                                   kernels::BinOp op) {
-  std::vector<float> out(static_cast<size_t>(tensor::numel(out_shape)));
+Storage broadcast_apply(const Tensor& a, const Tensor& b,
+                        const Shape& out_shape, kernels::BinOp op) {
+  Storage out = Storage::uninit(tensor::numel(out_shape));
   if (a.shape() == b.shape()) {
-    kernels::binary_same(op, a.raw(), b.raw(), out.data(),
-                         static_cast<int64_t>(out.size()));
+    kernels::binary_same(op, a.raw(), b.raw(), out.data(), out.size());
     return out;
   }
   const Shape sa = broadcast_strides(a.shape(), out_shape);
@@ -369,7 +346,7 @@ constexpr int64_t kUnaryCost = 8;
 
 template <typename FwdFn, typename BwdFn>
 Tensor unary_op(const Tensor& x, const char* name, FwdFn fwd, BwdFn bwd) {
-  std::vector<float> out(static_cast<size_t>(x.numel()));
+  Storage out = Storage::uninit(x.numel());
   kernels::map(x.raw(), out.data(), x.numel(), kUnaryCost,
                [fwd](const float* in, float* o, int64_t n) {
                  for (int64_t i = 0; i < n; ++i) o[i] = fwd(in[i]);
@@ -378,7 +355,7 @@ Tensor unary_op(const Tensor& x, const char* name, FwdFn fwd, BwdFn bwd) {
   Tensor result = make_result(
       x.shape(), std::move(out), name, {x},
       [saved_x, bwd](const Tensor& g) -> std::vector<Tensor> {
-        std::vector<float> gx(static_cast<size_t>(g.numel()));
+        Storage gx = Storage::uninit(g.numel());
         const float* pg = g.raw();
         const float* px = saved_x.raw();
         kernels::map(px, gx.data(), g.numel(), kUnaryCost,
@@ -387,7 +364,7 @@ Tensor unary_op(const Tensor& x, const char* name, FwdFn fwd, BwdFn bwd) {
                        for (int64_t i = 0; i < n; ++i)
                          o[i] = bwd(pg[base + i], in[i]);
                      });
-        return {Tensor::from_vector(saved_x.shape(), std::move(gx))};
+        return {Tensor::from_storage(saved_x.shape(), std::move(gx))};
       });
   return result;
 }
@@ -486,7 +463,8 @@ Tensor Tensor::sum() const {
   double acc = 0.0;
   for (float v : impl_->data) acc += v;
   const Shape in_shape = shape();
-  return make_result({1}, {static_cast<float>(acc)}, "sum", {*this},
+  return make_result({1}, Storage::full(1, static_cast<float>(acc)), "sum",
+                     {*this},
                      [in_shape](const Tensor& g) -> std::vector<Tensor> {
                        return {broadcast_to(
                            g.reshape(Shape(in_shape.size(), 1)), in_shape)};
@@ -505,13 +483,12 @@ Tensor Tensor::sum_axis(int axis, bool keepdim) const {
   for (int i = 0; i < a; ++i) outer *= in[static_cast<size_t>(i)];
   for (size_t i = static_cast<size_t>(a) + 1; i < in.size(); ++i) inner *= in[i];
   const int64_t len = in[static_cast<size_t>(a)];
-  std::vector<float> out(static_cast<size_t>(outer * inner), 0.0f);
+  Storage out = Storage::zeros(outer * inner);
   const float* p = raw();
   for (int64_t o = 0; o < outer; ++o)
     for (int64_t l = 0; l < len; ++l)
       for (int64_t i = 0; i < inner; ++i)
-        out[static_cast<size_t>(o * inner + i)] +=
-            p[static_cast<size_t>((o * len + l) * inner + i)];
+        out[o * inner + i] += p[static_cast<size_t>((o * len + l) * inner + i)];
 
   Shape out_shape = keep;
   if (!keepdim) out_shape.erase(out_shape.begin() + a);
@@ -537,8 +514,8 @@ Tensor Tensor::max_axis(int axis, bool keepdim) const {
   for (int i = 0; i < a; ++i) outer *= in[static_cast<size_t>(i)];
   for (size_t i = static_cast<size_t>(a) + 1; i < in.size(); ++i) inner *= in[i];
   const int64_t len = in[static_cast<size_t>(a)];
-  std::vector<float> out(static_cast<size_t>(outer * inner),
-                         -std::numeric_limits<float>::infinity());
+  Storage out =
+      Storage::full(outer * inner, -std::numeric_limits<float>::infinity());
   auto argmax = std::make_shared<std::vector<int64_t>>(
       static_cast<size_t>(outer * inner), 0);
   const float* p = raw();
@@ -546,10 +523,10 @@ Tensor Tensor::max_axis(int axis, bool keepdim) const {
     for (int64_t l = 0; l < len; ++l)
       for (int64_t i = 0; i < inner; ++i) {
         const float v = p[static_cast<size_t>((o * len + l) * inner + i)];
-        const size_t oi = static_cast<size_t>(o * inner + i);
+        const int64_t oi = o * inner + i;
         if (v > out[oi]) {
           out[oi] = v;
-          (*argmax)[oi] = l;
+          (*argmax)[static_cast<size_t>(oi)] = l;
         }
       }
   Shape out_shape = keep;
@@ -558,30 +535,30 @@ Tensor Tensor::max_axis(int axis, bool keepdim) const {
   return make_result(
       out_shape, std::move(out), "max_axis", {*this},
       [in, outer, inner, len, argmax](const Tensor& g) -> std::vector<Tensor> {
-        std::vector<float> gx(static_cast<size_t>(tensor::numel(in)), 0.0f);
+        Storage gx = Storage::zeros(tensor::numel(in));
         const float* pg = g.raw();
         for (int64_t o = 0; o < outer; ++o)
           for (int64_t i = 0; i < inner; ++i) {
             const size_t oi = static_cast<size_t>(o * inner + i);
             const int64_t l = (*argmax)[oi];
-            gx[static_cast<size_t>((o * len + l) * inner + i)] = pg[oi];
+            gx[(o * len + l) * inner + i] = pg[oi];
           }
-        return {Tensor::from_vector(in, std::move(gx))};
+        return {Tensor::from_storage(in, std::move(gx))};
       });
 }
 
 Tensor Tensor::sum_to(const Shape& target) const {
   if (shape() == target) return *this;
   // Sum over leading extra axes and over broadcast axes.
-  std::vector<float> out(static_cast<size_t>(tensor::numel(target)), 0.0f);
+  Storage out = Storage::zeros(tensor::numel(target));
   const Shape tstr = broadcast_strides(target, shape());
   CoordIter it(shape());
   const float* p = raw();
   size_t k = 0;
   do {
-    out[static_cast<size_t>(dot_strides(it.coords(), tstr))] += p[k++];
+    out[dot_strides(it.coords(), tstr)] += p[k++];
   } while (it.next());
-  return Tensor::from_vector(target, std::move(out));
+  return Tensor::from_storage(target, std::move(out));
 }
 
 // ---------------------------------------------------------------------------
@@ -611,7 +588,7 @@ Tensor Tensor::matmul(const Tensor& o) const {
   out_shape.push_back(n);
 
   const int64_t nbatch = tensor::numel(batch);
-  std::vector<float> out(static_cast<size_t>(nbatch * m * n), 0.0f);
+  Storage out = Storage::zeros(nbatch * m * n);
 
   // Per-batch offsets honoring broadcast (stride 0 on broadcast axes).
   const Shape abatch = batch_dims(shape());
@@ -620,9 +597,14 @@ Tensor Tensor::matmul(const Tensor& o) const {
   const Shape bstr = broadcast_strides(bbatch, batch);
   // Flatten broadcast batch coordinates to per-entry operand offsets, then
   // hand the whole problem to the blocked batched kernel (parallel over
-  // batch entries and row blocks).
-  std::vector<int64_t> a_off(static_cast<size_t>(nbatch), 0);
-  std::vector<int64_t> b_off(static_cast<size_t>(nbatch), 0);
+  // batch entries and row blocks).  The offset tables are per-thread
+  // workspace scratch — rebuilt each call into retained capacity, done
+  // with before this function returns (gemm_batched keeps no reference).
+  Workspace& ws = workspace();
+  std::vector<int64_t>& a_off = ws.off_a;
+  std::vector<int64_t>& b_off = ws.off_b;
+  a_off.assign(static_cast<size_t>(nbatch), 0);
+  b_off.assign(static_cast<size_t>(nbatch), 0);
   if (!batch.empty()) {
     CoordIter it(batch);
     size_t bi = 0;
@@ -673,7 +655,7 @@ Tensor Tensor::reshape(const Shape& new_shape) const {
                     "reshape " << shape_str(shape()) << " -> "
                                << shape_str(resolved));
   const Shape in = shape();
-  std::vector<float> out(impl_->data.begin(), impl_->data.end());
+  Storage out = Storage::copy_of(raw(), numel());
   return make_result(resolved, std::move(out), "reshape", {*this},
                      [in](const Tensor& g) -> std::vector<Tensor> {
                        return {g.reshape(in)};
@@ -698,7 +680,7 @@ Tensor Tensor::permute(const std::vector<size_t>& perm) const {
                   perm[ndim() - 2] == ndim() - 1 &&
                   perm[ndim() - 1] == ndim() - 2;
 
-  std::vector<float> out(static_cast<size_t>(numel()));
+  Storage out = Storage::uninit(numel());
   if (last_two_swap && numel() > 0) {
     const int64_t rows = shape()[ndim() - 2];
     const int64_t cols = shape()[ndim() - 1];
@@ -729,7 +711,7 @@ Tensor Tensor::slice(int axis, int64_t start, int64_t len) const {
   for (size_t i = static_cast<size_t>(a) + 1; i < in.size(); ++i) inner *= in[i];
   const int64_t dlen = in[static_cast<size_t>(a)];
 
-  std::vector<float> out(static_cast<size_t>(outer * len * inner));
+  Storage out = Storage::uninit(outer * len * inner);
   const float* p = raw();
   for (int64_t o = 0; o < outer; ++o)
     std::memcpy(out.data() + o * len * inner,
@@ -755,7 +737,7 @@ Tensor Tensor::pad_axis(int axis, int64_t before, int64_t after) const {
   const int64_t dlen = in[static_cast<size_t>(a)];
   const int64_t olen = out_shape[static_cast<size_t>(a)];
 
-  std::vector<float> out(static_cast<size_t>(outer * olen * inner), 0.0f);
+  Storage out = Storage::zeros(outer * olen * inner);
   const float* p = raw();
   for (int64_t o = 0; o < outer; ++o)
     std::memcpy(out.data() + (o * olen + before) * inner,
@@ -778,7 +760,7 @@ Tensor Tensor::roll(int axis, int64_t shift) const {
   for (int i = 0; i < a; ++i) outer *= in[static_cast<size_t>(i)];
   for (size_t i = static_cast<size_t>(a) + 1; i < in.size(); ++i) inner *= in[i];
 
-  std::vector<float> out(static_cast<size_t>(numel()));
+  Storage out = Storage::uninit(numel());
   const float* p = raw();
   for (int64_t o = 0; o < outer; ++o)
     for (int64_t l = 0; l < dlen; ++l) {
@@ -815,7 +797,7 @@ Tensor concat(const std::vector<Tensor>& parts, int axis) {
   for (size_t i = static_cast<size_t>(a) + 1; i < out_shape.size(); ++i)
     inner *= out_shape[i];
 
-  std::vector<float> out(static_cast<size_t>(tensor::numel(out_shape)));
+  Storage out = Storage::uninit(tensor::numel(out_shape));
   int64_t offset = 0;
   for (const auto& t : parts) {
     const int64_t dlen = t.shape()[static_cast<size_t>(a)];
@@ -851,17 +833,23 @@ Tensor concat(const std::vector<Tensor>& parts, int axis) {
 Tensor Tensor::softmax_lastdim() const {
   const int64_t cols = shape()[ndim() - 1];
   const int64_t rows = numel() / cols;
-  std::vector<float> out(static_cast<size_t>(numel()));
+  Storage out = Storage::uninit(numel());
   kernels::softmax_rows(raw(), out.data(), rows, cols);
 
-  Tensor saved_out = Tensor::from_vector(shape(), out);  // copy for backward
+  if (!needs_graph({*this})) {
+    // Inference: no backward stash — skip the output copy the training
+    // path keeps (this used to double the op's allocation traffic).
+    return from_storage(shape(), std::move(out));
+  }
+  Tensor saved_out =
+      from_storage(shape(), Storage::copy_of(out.data(), numel()));
   return make_result(
       shape(), std::move(out), "softmax", {*this},
       [saved_out, rows, cols](const Tensor& g) -> std::vector<Tensor> {
-        std::vector<float> gx(static_cast<size_t>(g.numel()));
+        Storage gx = Storage::uninit(g.numel());
         kernels::softmax_backward_rows(g.raw(), saved_out.raw(), gx.data(),
                                        rows, cols);
-        return {Tensor::from_vector(saved_out.shape(), std::move(gx))};
+        return {Tensor::from_storage(saved_out.shape(), std::move(gx))};
       });
 }
 
@@ -871,7 +859,15 @@ Tensor Tensor::layer_norm(const Tensor& gamma, const Tensor& beta,
   COASTAL_CHECK(gamma.numel() == cols && beta.numel() == cols);
   const int64_t rows = numel() / cols;
 
-  std::vector<float> out(static_cast<size_t>(numel()));
+  Storage out = Storage::uninit(numel());
+  if (!needs_graph({*this, gamma, beta})) {
+    // Inference: xhat/invstd are pure autograd state — skip the stash
+    // (no allocation and no stash stores at all).
+    kernels::layer_norm_rows(raw(), gamma.raw(), beta.raw(), out.data(),
+                             nullptr, nullptr, rows, cols, eps);
+    return from_storage(shape(), std::move(out));
+  }
+
   auto xhat = std::make_shared<std::vector<float>>(
       static_cast<size_t>(numel()));
   auto invstd = std::make_shared<std::vector<float>>(
@@ -886,16 +882,16 @@ Tensor Tensor::layer_norm(const Tensor& gamma, const Tensor& beta,
       shape(), std::move(out), "layer_norm", {x, gamma, beta},
       [xhat, invstd, rows, cols, in_shape, gshape,
        gm](const Tensor& g) -> std::vector<Tensor> {
-        std::vector<float> gx(static_cast<size_t>(rows * cols));
-        std::vector<float> ggamma(static_cast<size_t>(cols), 0.0f);
-        std::vector<float> gbeta(static_cast<size_t>(cols), 0.0f);
+        Storage gx = Storage::uninit(rows * cols);
+        Storage ggamma = Storage::zeros(cols);
+        Storage gbeta = Storage::zeros(cols);
         kernels::layer_norm_backward_rows(g.raw(), gm.raw(), xhat->data(),
                                           invstd->data(), gx.data(),
                                           ggamma.data(), gbeta.data(), rows,
                                           cols);
-        return {Tensor::from_vector(in_shape, std::move(gx)),
-                Tensor::from_vector(gshape, std::move(ggamma)),
-                Tensor::from_vector(gshape, std::move(gbeta))};
+        return {Tensor::from_storage(in_shape, std::move(gx)),
+                Tensor::from_storage(gshape, std::move(ggamma)),
+                Tensor::from_storage(gshape, std::move(gbeta))};
       });
 }
 
@@ -903,10 +899,17 @@ Tensor Tensor::layer_norm(const Tensor& gamma, const Tensor& beta,
 // Losses
 // ---------------------------------------------------------------------------
 
-Tensor custom_op(Shape shape, std::vector<float> data, const char* name,
+Tensor custom_op(Shape shape, Storage data, const char* name,
                  std::vector<Tensor> parents,
                  std::function<std::vector<Tensor>(const Tensor&)> backward) {
   return make_result(std::move(shape), std::move(data), name,
+                     std::move(parents), std::move(backward));
+}
+
+Tensor custom_op(Shape shape, std::vector<float> data, const char* name,
+                 std::vector<Tensor> parents,
+                 std::function<std::vector<Tensor>(const Tensor&)> backward) {
+  return make_result(std::move(shape), Storage::adopt(std::move(data)), name,
                      std::move(parents), std::move(backward));
 }
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "tensor/shape.hpp"
+#include "tensor/storage.hpp"
 #include "util/rng.hpp"
 
 namespace coastal::tensor {
@@ -41,22 +42,18 @@ struct Node {
   std::function<std::vector<Tensor>(const Tensor& grad_out)> backward;
 };
 
-/// Allocation accounting (Table II / memory benches read these).
-struct AllocStats {
-  uint64_t current_bytes;
-  uint64_t peak_bytes;
-  uint64_t total_allocs;
-};
-AllocStats alloc_stats();
-void reset_peak_bytes();
+// AllocStats / alloc_stats() / reset_peak_bytes() live in storage.hpp with
+// the pool they now account for; included above for source compatibility.
 
 struct TensorImpl {
   Shape shape;
-  std::vector<float> data;
+  Storage data;  ///< pooled / arena-backed float buffer (see storage.hpp)
   bool requires_grad = false;            ///< leaf flag
   std::shared_ptr<Node> grad_fn;         ///< non-null for op outputs
   std::shared_ptr<TensorImpl> grad;      ///< accumulated gradient (leaves)
 
+  TensorImpl(Shape s, Storage d);
+  /// Convenience: adopts the vector's buffer (heap-backed, never pooled).
   TensorImpl(Shape s, std::vector<float> d);
   ~TensorImpl();
   TensorImpl(const TensorImpl&) = delete;
@@ -99,6 +96,9 @@ class Tensor {
   static Tensor ones(const Shape& shape);
   static Tensor full(const Shape& shape, float value);
   static Tensor from_vector(const Shape& shape, std::vector<float> values);
+  /// Takes ownership of a Storage buffer (the pooled-allocation path the
+  /// op implementations use; result is a leaf with no grad history).
+  static Tensor from_storage(const Shape& shape, Storage data);
   /// Gaussian init, N(0, stddev^2).
   static Tensor randn(const Shape& shape, util::Rng& rng, float stddev = 1.0f);
   static Tensor uniform(const Shape& shape, util::Rng& rng, float lo, float hi);
@@ -110,8 +110,12 @@ class Tensor {
   size_t ndim() const { return impl_->shape.size(); }
   int64_t numel() const { return tensor::numel(impl_->shape); }
 
-  std::span<float> data() { return impl_->data; }
-  std::span<const float> data() const { return impl_->data; }
+  std::span<float> data() {
+    return {impl_->data.data(), static_cast<size_t>(impl_->data.size())};
+  }
+  std::span<const float> data() const {
+    return {impl_->data.data(), static_cast<size_t>(impl_->data.size())};
+  }
   float* raw() { return impl_->data.data(); }
   const float* raw() const { return impl_->data.data(); }
 
@@ -216,6 +220,11 @@ Tensor concat(const std::vector<Tensor>& parts, int axis);
 /// backward function — the extension point used by activation
 /// checkpointing.  `backward` maps grad-wrt-output to grads-wrt-parents
 /// (same order as `parents`; undefined Tensors mark non-diff inputs).
+/// The Storage overload is the allocation-free hot path; the vector
+/// overload adopts the buffer (heap-backed).
+Tensor custom_op(Shape shape, Storage data, const char* name,
+                 std::vector<Tensor> parents,
+                 std::function<std::vector<Tensor>(const Tensor&)> backward);
 Tensor custom_op(Shape shape, std::vector<float> data, const char* name,
                  std::vector<Tensor> parents,
                  std::function<std::vector<Tensor>(const Tensor&)> backward);

@@ -549,9 +549,12 @@ TEST(Kernels, AttentionFallbackThresholdKeepsTinyWindowsUnfused) {
   Tensor x = Tensor::randn({2, 8, 16}, rng);  // N = 8
   tensor::NoGradGuard ng;
   coastal::testing::KernelConfigOverride guard;
-  // N below the default threshold: the forward must be bitwise identical
-  // to an explicitly-unfused forward, proving the fallback engaged.
-  ASSERT_LT(8, ker::config().attn_fused_min_n);
+  // N below the default threshold (attn_fused_min_n = 0 resolves to the
+  // head-dim-aware table; this module's head dim is 16/2 = 8): the forward
+  // must be bitwise identical to an explicitly-unfused forward, proving
+  // the fallback engaged.
+  ASSERT_EQ(0, ker::config().attn_fused_min_n);
+  ASSERT_LT(8, ker::fused_attention_min_n(8));
   Tensor below = attn.forward(x);
   ker::config().attn_fused_min_n = 1000000;
   Tensor unfused = attn.forward(x);
