@@ -7,8 +7,10 @@
 #include <benchmark/benchmark.h>
 
 #include <limits>
+#include <span>
 
 #include "bench_common.hpp"
+#include "core/rollout.hpp"
 #include "core/surrogate.hpp"
 #include "core/window4d.hpp"
 #include "nn/attention.hpp"
@@ -16,6 +18,7 @@
 #include "ocean/bathymetry.hpp"
 #include "ocean/solver.hpp"
 #include "parallel/decomposition.hpp"
+#include "serve/server.hpp"
 #include "tensor/half.hpp"
 #include "tensor/kernels.hpp"
 #include "tensor/tensor.hpp"
@@ -257,6 +260,136 @@ static void BM_AllocChurn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 5);  // tensors allocated
 }
 BENCHMARK(BM_AllocChurn)->Arg(64)->Arg(256);
+
+namespace {
+
+/// Shared fixture for the serving benches: the miniature surrogate plus a
+/// synthetic trace of episode requests (normalized random fields — serving
+/// throughput is about scheduling and kernels, not forecast skill).
+struct ServeBenchWorld {
+  data::SampleSpec spec = data::make_spec(20, 20, 6, 3, 4, 2);
+  data::Normalizer norm;
+  std::unique_ptr<core::SurrogateModel> model;
+  std::vector<data::CenterFields> trace;  // kTrace request windows x (T+1)
+
+  static constexpr int kTrace = 8;  ///< concurrent clients per iteration
+  /// Distinct episodes among them — 4 clients per episode.  Public
+  /// forecast traffic duplicates far more heavily than this (every user
+  /// of a region asks for the same current window); 2 distinct windows
+  /// keeps the serial baseline honest while the collapse win stays
+  /// conservative.
+  static constexpr int kDistinct = 2;
+
+  ServeBenchWorld() {
+    util::Rng rng(21);
+    core::SurrogateConfig mcfg;
+    mcfg.H = spec.H;
+    mcfg.W = spec.W;
+    mcfg.D = spec.D;
+    mcfg.T = spec.T;
+    mcfg.patch_h = 5;
+    mcfg.patch_w = 5;
+    mcfg.patch_d = 2;
+    mcfg.embed_dim = 8;
+    mcfg.stages = 3;
+    mcfg.heads = {2, 4, 8};
+    model = std::make_unique<core::SurrogateModel>(mcfg, rng);
+    util::Rng drng(22);
+    const size_t n3 = 6u * 20 * 20, n2 = 20u * 20;
+    trace.resize(static_cast<size_t>(kDistinct) * 4);
+    for (auto& f : trace) {
+      f.nx = 20;
+      f.ny = 20;
+      f.nz = 6;
+      f.u.resize(n3);
+      f.v.resize(n3);
+      f.w.resize(n3);
+      f.zeta.resize(n2);
+      for (auto& x : f.u) x = static_cast<float>(drng.normal());
+      for (auto& x : f.v) x = static_cast<float>(drng.normal());
+      for (auto& x : f.w) x = static_cast<float>(drng.normal());
+      for (auto& x : f.zeta) x = static_cast<float>(drng.normal());
+      norm.accumulate(f);
+    }
+    norm.freeze();
+  }
+
+  /// Client i's episode window.  Clients round-robin over kDistinct
+  /// distinct episodes — the public-forecast traffic shape, where many
+  /// concurrent clients ask for the *same* current forecast (here 4
+  /// clients per episode).
+  std::span<const data::CenterFields> window(int client) const {
+    return {trace.data() + static_cast<size_t>(client % kDistinct) * 4, 4};
+  }
+
+  static ServeBenchWorld& instance() {
+    static ServeBenchWorld w;
+    return w;
+  }
+};
+
+}  // namespace
+
+static void BM_ServeSerial(benchmark::State& state) {
+  // The one-request-at-a-time baseline: each of the 8 queued clients is
+  // served by its own B = 1 episode (the pre-serving workflow pattern).
+  auto& w = ServeBenchWorld::instance();
+  w.model->set_training(false);
+  tensor::NoGradGuard ng;
+  for (auto _ : state) {
+    for (int i = 0; i < ServeBenchWorld::kTrace; ++i) {
+      tensor::ArenaScope arena;
+      auto frames =
+          core::forecast_episode(*w.model, w.spec, w.norm, w.window(i),
+                                 nullptr);
+      benchmark::DoNotOptimize(frames.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * ServeBenchWorld::kTrace);
+}
+BENCHMARK(BM_ServeSerial);
+
+static void BM_ServeThroughput(benchmark::State& state) {
+  // Requests/s through the micro-batching server for the same 8-client
+  // burst BM_ServeSerial grinds through one episode at a time; the JSON
+  // key encodes (workers, max_batch) as workers*100 + max_batch, so 101
+  // disables coalescing entirely (1-deep batches), 108 = 1 worker with
+  // 8-way coalescing, 408 = 4 workers.  Two effects separate the
+  // configurations: identical-episode collapse (the 4x duplication in
+  // the trace is removed outright — this carries the win on any host,
+  // including 1-core) and batch-dimension amortization of kernel fan-out
+  // (visible with multi-core kernels).  Results stay bitwise identical
+  // to serial execution throughout (tests/test_serve.cpp).
+  auto& w = ServeBenchWorld::instance();
+  serve::ServerConfig cfg;
+  cfg.workers = static_cast<int>(state.range(0) / 100);
+  cfg.batch.max_batch = static_cast<int>(state.range(0) % 100);
+  cfg.batch.max_wait_us = 20000;
+  cfg.queue_capacity = 64;
+  cfg.verify = false;
+  serve::ForecastServer server({{w.model.get(), w.spec}}, w.norm, nullptr,
+                               cfg);
+  std::vector<std::future<serve::ForecastResult>> futures;
+  futures.reserve(ServeBenchWorld::kTrace);
+  for (auto _ : state) {
+    futures.clear();
+    for (int i = 0; i < ServeBenchWorld::kTrace; ++i) {
+      serve::ForecastRequest req;
+      const auto win = w.window(i);
+      req.window.assign(win.begin(), win.end());
+      auto f = server.submit(std::move(req));
+      if (f) futures.push_back(std::move(*f));
+    }
+    for (auto& f : futures) benchmark::DoNotOptimize(f.get());
+  }
+  state.SetItemsProcessed(state.iterations() * ServeBenchWorld::kTrace);
+}
+BENCHMARK(BM_ServeThroughput)
+    ->Arg(101)
+    ->Arg(108)
+    ->Arg(208)
+    ->Arg(408)
+    ->UseRealTime();
 
 static void BM_SolverStep(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -7,12 +7,12 @@ namespace coastal::core {
 namespace {
 
 /// Read one variable frame out of a packed target/prediction volume tensor
-/// [B, 3, H, W, D, T] at batch 0, channel c, time t.
+/// [B, 3, H, W, D, T] at batch entry b, channel c, time t.
 void unpack_volume(const tensor::Tensor& vol, const data::SampleSpec& s,
-                   int c, int t, std::vector<float>& dst) {
+                   int64_t b, int c, int t, std::vector<float>& dst) {
   const auto& shape = vol.shape();
   const int64_t T = shape[5];
-  const float* p = vol.raw();
+  const float* p = vol.raw() + b * 3 * s.H * s.W * s.D * T;
   for (int k = 0; k < s.src_nz; ++k)
     for (int iy = 0; iy < s.src_ny; ++iy)
       for (int ix = 0; ix < s.src_nx; ++ix) {
@@ -25,10 +25,10 @@ void unpack_volume(const tensor::Tensor& vol, const data::SampleSpec& s,
 }
 
 void unpack_surface(const tensor::Tensor& surf, const data::SampleSpec& s,
-                    int t, std::vector<float>& dst) {
+                    int64_t b, int t, std::vector<float>& dst) {
   const auto& shape = surf.shape();
   const int64_t T = shape[4];
-  const float* p = surf.raw();
+  const float* p = surf.raw() + b * s.H * s.W * T;
   for (int iy = 0; iy < s.src_ny; ++iy)
     for (int ix = 0; ix < s.src_nx; ++ix)
       dst[static_cast<size_t>(iy) * s.src_nx + ix] =
@@ -38,9 +38,11 @@ void unpack_surface(const tensor::Tensor& surf, const data::SampleSpec& s,
 std::vector<data::CenterFields> decode_tensors(const data::SampleSpec& spec,
                                                const tensor::Tensor& volume,
                                                const tensor::Tensor& surface,
+                                               int64_t b,
                                                const data::Normalizer& norm) {
-  COASTAL_CHECK(volume.ndim() == 6 && volume.shape()[0] == 1);
-  COASTAL_CHECK(surface.ndim() == 5 && surface.shape()[0] == 1);
+  COASTAL_CHECK(volume.ndim() == 6 && surface.ndim() == 5);
+  COASTAL_CHECK(b >= 0 && b < volume.shape()[0] &&
+                volume.shape()[0] == surface.shape()[0]);
   const auto T = static_cast<int>(volume.shape()[5]);
 
   std::vector<data::CenterFields> frames(static_cast<size_t>(T));
@@ -56,10 +58,10 @@ std::vector<data::CenterFields> decode_tensors(const data::SampleSpec& spec,
     f.v.assign(n3, 0.0f);
     f.w.assign(n3, 0.0f);
     f.zeta.assign(n2, 0.0f);
-    unpack_volume(volume, spec, 0, t, f.u);
-    unpack_volume(volume, spec, 1, t, f.v);
-    unpack_volume(volume, spec, 2, t, f.w);
-    unpack_surface(surface, spec, t, f.zeta);
+    unpack_volume(volume, spec, b, 0, t, f.u);
+    unpack_volume(volume, spec, b, 1, t, f.v);
+    unpack_volume(volume, spec, b, 2, t, f.w);
+    unpack_surface(surface, spec, b, t, f.zeta);
     norm.denormalize(f.u, data::kU);
     norm.denormalize(f.v, data::kV);
     norm.denormalize(f.w, data::kW);
@@ -73,7 +75,14 @@ std::vector<data::CenterFields> decode_tensors(const data::SampleSpec& spec,
 std::vector<data::CenterFields> decode_prediction(
     const data::SampleSpec& spec, const SurrogateOutput& output,
     const data::Normalizer& norm) {
-  return decode_tensors(spec, output.volume, output.surface, norm);
+  COASTAL_CHECK(output.volume.shape()[0] == 1);
+  return decode_tensors(spec, output.volume, output.surface, 0, norm);
+}
+
+std::vector<data::CenterFields> decode_prediction_entry(
+    const data::SampleSpec& spec, const SurrogateOutput& output, int64_t b,
+    const data::Normalizer& norm) {
+  return decode_tensors(spec, output.volume, output.surface, b, norm);
 }
 
 std::vector<data::CenterFields> decode_target(const data::SampleSpec& spec,
@@ -86,7 +95,7 @@ std::vector<data::CenterFields> decode_target(const data::SampleSpec& spec,
   tensor::Shape bss{1};
   bss.insert(bss.end(), ss.begin(), ss.end());
   return decode_tensors(spec, sample.target_volume.reshape(bvs),
-                        sample.target_surface.reshape(bss), norm);
+                        sample.target_surface.reshape(bss), 0, norm);
 }
 
 void overwrite_initial_condition(const data::SampleSpec& spec,

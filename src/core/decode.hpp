@@ -20,6 +20,16 @@ std::vector<data::CenterFields> decode_prediction(
     const data::SampleSpec& spec, const SurrogateOutput& output,
     const data::Normalizer& norm);
 
+/// Unpack one batch entry of a *batched* SurrogateOutput ([B, ...]) — the
+/// serving scheduler's demultiplex step.  Reads the entry in place via its
+/// batch offset (no per-entry slice copy), so fanning a coalesced forward
+/// back out to its requests allocates no tensors.  Entry `b` decodes to
+/// exactly what decode_prediction produces for a standalone B == 1 forward
+/// of the same sample.
+std::vector<data::CenterFields> decode_prediction_entry(
+    const data::SampleSpec& spec, const SurrogateOutput& output, int64_t b,
+    const data::Normalizer& norm);
+
 /// Same unpacking for a sample's ground-truth target tensors.
 std::vector<data::CenterFields> decode_target(const data::SampleSpec& spec,
                                               const data::Sample& sample,

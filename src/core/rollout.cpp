@@ -5,16 +5,20 @@
 
 namespace coastal::core {
 
-namespace {
-
-data::CenterFields renormalize(const data::CenterFields& denorm,
-                               const data::Normalizer& norm) {
-  data::CenterFields f = denorm;
-  norm.normalize_fields(f);
-  return f;
+std::vector<data::CenterFields> forecast_episode(
+    SurrogateModel& model, const data::SampleSpec& spec,
+    const data::Normalizer& norm,
+    std::span<const data::CenterFields> window,
+    const data::CenterFields* ic_normalized) {
+  COASTAL_CHECK_MSG(window.size() == static_cast<size_t>(spec.T) + 1,
+                    "forecast_episode needs T+1 = " << spec.T + 1
+                                                    << " frames, got "
+                                                    << window.size());
+  data::Sample sample = make_sample(spec, window);
+  if (ic_normalized) overwrite_initial_condition(spec, sample, *ic_normalized);
+  SurrogateOutput out = model.forward_sample(sample, false);
+  return decode_prediction(spec, out, norm);
 }
-
-}  // namespace
 
 std::vector<data::CenterFields> rollout(
     SurrogateModel& model, const data::SampleSpec& spec,
@@ -40,12 +44,9 @@ std::vector<data::CenterFields> rollout(
     tensor::ArenaScope arena;
     std::span<const data::CenterFields> window =
         truth.subspan(static_cast<size_t>(e * T), static_cast<size_t>(T) + 1);
-    data::Sample sample = make_sample(spec, window);
-    if (e > 0) overwrite_initial_condition(spec, sample, ic_normalized);
-
-    SurrogateOutput out = model.forward_sample(sample, false);
-    auto frames = decode_prediction(spec, out, norm);
-    ic_normalized = renormalize(frames.back(), norm);
+    auto frames = forecast_episode(model, spec, norm, window,
+                                   e > 0 ? &ic_normalized : nullptr);
+    ic_normalized = data::normalized_copy(frames.back(), norm);
     for (auto& f : frames) predictions.push_back(std::move(f));
   }
   model.set_training(true);
@@ -79,14 +80,13 @@ std::vector<data::CenterFields> dual_rollout(
     tensor::ArenaScope arena;  // bulk-release this fine episode's tensors
     std::span<const data::CenterFields> window = fine_truth.subspan(
         static_cast<size_t>(c * Tf), static_cast<size_t>(Tf) + 1);
-    data::Sample sample = make_sample(fine_spec, window);
+    data::CenterFields ic;
     if (c > 0) {
-      data::CenterFields ic = coarse_frames[static_cast<size_t>(c - 1)];
+      ic = coarse_frames[static_cast<size_t>(c - 1)];
       norm.normalize_fields(ic);
-      overwrite_initial_condition(fine_spec, sample, ic);
     }
-    SurrogateOutput o = fine_model.forward_sample(sample, false);
-    for (auto& f : decode_prediction(fine_spec, o, norm))
+    for (auto& f : forecast_episode(fine_model, fine_spec, norm, window,
+                                    c > 0 ? &ic : nullptr))
       out.push_back(std::move(f));
   }
   fine_model.set_training(true);

@@ -20,6 +20,21 @@
 
 namespace coastal::core {
 
+/// One surrogate episode — the building block rollout(), dual_rollout(),
+/// run_workflow(), and the serving layer all share: pack `window` (T+1
+/// normalized frames: IC + per-step boundary conditions) into a sample,
+/// overwrite the initial condition with `ic_normalized` when non-null
+/// (autoregressive chaining), run the surrogate, and decode the T
+/// predicted frames (denormalized).  Grad/eval state is the caller's
+/// contract: wrap in NoGradGuard + set_training(false) (and an ArenaScope
+/// if episode tensors should bump-allocate) exactly as the callers here
+/// do.
+std::vector<data::CenterFields> forecast_episode(
+    SurrogateModel& model, const data::SampleSpec& spec,
+    const data::Normalizer& norm,
+    std::span<const data::CenterFields> window,
+    const data::CenterFields* ic_normalized);
+
 /// Chain `episodes` surrogate calls.  `truth_normalized` must hold
 /// episodes*T + 1 normalized frames; frame 0 is the initial condition and
 /// the lateral boundary ring of every later frame provides the boundary

@@ -9,16 +9,17 @@ namespace coastal::core {
 
 namespace {
 
-/// Depth-average a layered field at one cell with the grid's sigma
-/// thicknesses.
-double depth_average(const ocean::Grid& grid, const data::CenterFields& f,
-                     const std::vector<float>& layered, int iy, int ix) {
-  double avg = 0.0;
-  for (int k = 0; k < f.nz; ++k)
-    avg += layered[f.cell3(k, iy, ix)] *
-           grid.sigma_thickness()[static_cast<size_t>(k)];
-  return avg;
-}
+/// cell_residual accessor over whole-domain frames (global == local
+/// indexing).
+struct FrameAccessor {
+  const data::CenterFields& a;
+  const data::CenterFields& b;
+  int nz() const { return b.nz; }
+  float u(int k, int ix, int iy) const { return b.u[b.cell3(k, iy, ix)]; }
+  float v(int k, int ix, int iy) const { return b.v[b.cell3(k, iy, ix)]; }
+  float zeta(int ix, int iy) const { return b.zeta[b.cell2(iy, ix)]; }
+  float zeta_prev(int ix, int iy) const { return a.zeta[a.cell2(iy, ix)]; }
+};
 
 }  // namespace
 
@@ -31,47 +32,11 @@ VerificationResult MassVerifier::check_pair(const data::CenterFields& a,
 
   double sum = 0.0, worst = 0.0;
   size_t count = 0;
-  const int nx = grid_.nx(), ny = grid_.ny();
-
-  // Face transport from cell-centered values: average the two adjacent
-  // centers (both depth and velocity), zero across land and domain edges
-  // except the open west boundary where the one-sided value is used.
-  auto ucell = [&](int ix, int iy) {
-    return depth_average(grid_, b, b.u, iy, ix);
-  };
-  auto vcell = [&](int ix, int iy) {
-    return depth_average(grid_, b, b.v, iy, ix);
-  };
-  auto depth = [&](int ix, int iy) {
-    return grid_.h(ix, iy) + b.zeta[b.cell2(iy, ix)];
-  };
-
-  for (int iy = 0; iy < ny; ++iy) {
-    for (int ix = 0; ix < nx; ++ix) {
+  const FrameAccessor f{a, b};
+  for (int iy = 0; iy < grid_.ny(); ++iy) {
+    for (int ix = 0; ix < grid_.nx(); ++ix) {
       if (!grid_.wet(ix, iy)) continue;
-
-      auto flux_x = [&](int face) -> double {  // positive eastward
-        if (face == 0) {
-          // Open boundary: one-sided.
-          return grid_.wet(0, iy) ? depth(0, iy) * ucell(0, iy) : 0.0;
-        }
-        if (face == nx) return 0.0;
-        if (!grid_.wet(face - 1, iy) || !grid_.wet(face, iy)) return 0.0;
-        return 0.5 * (depth(face - 1, iy) + depth(face, iy)) * 0.5 *
-               (ucell(face - 1, iy) + ucell(face, iy));
-      };
-      auto flux_y = [&](int face) -> double {
-        if (face == 0 || face == ny) return 0.0;
-        if (!grid_.wet(ix, face - 1) || !grid_.wet(ix, face)) return 0.0;
-        return 0.5 * (depth(ix, face - 1) + depth(ix, face)) * 0.5 *
-               (vcell(ix, face - 1) + vcell(ix, face));
-      };
-
-      const double div = (flux_x(ix + 1) - flux_x(ix)) / grid_.dx(ix) +
-                         (flux_y(iy + 1) - flux_y(iy)) / grid_.dy(iy);
-      const double dzdt =
-          (b.zeta[b.cell2(iy, ix)] - a.zeta[a.cell2(iy, ix)]) / dt_seconds;
-      const double residual = std::abs(dzdt + div);
+      const double residual = cell_residual(grid_, f, ix, iy, dt_seconds);
       sum += residual;
       worst = std::max(worst, residual);
       ++count;

@@ -1,10 +1,50 @@
 #include "core/workflow.hpp"
 
 #include "core/decode.hpp"
+#include "core/rollout.hpp"
 #include "data/dataset.hpp"
 #include "util/timer.hpp"
 
 namespace coastal::core {
+
+EpisodeOutcome verify_or_fallback(std::vector<data::CenterFields>& frames,
+                                  const data::CenterFields& current,
+                                  const MassVerifier& verifier,
+                                  const ocean::Grid& grid,
+                                  const ocean::TidalForcing& tides,
+                                  const ocean::PhysicsParams& params,
+                                  double start_time, double snapshot_dt) {
+  EpisodeOutcome outcome;
+  const int T = static_cast<int>(frames.size());
+
+  // Verify the episode including the transition from the current state.
+  util::Timer verify_timer;
+  std::vector<data::CenterFields> seq;
+  seq.reserve(frames.size() + 1);
+  seq.push_back(current);
+  for (auto& f : frames) seq.push_back(f);
+  outcome.verdict = verifier.check_sequence(seq, snapshot_dt);
+  outcome.verify_seconds = verify_timer.seconds();
+
+  if (!outcome.verdict.pass) {
+    // Fall back: recompute the episode with the numerical model from the
+    // current verified state.
+    outcome.fallback = true;
+    util::Timer roms_timer;
+    ocean::TidalModel fallback =
+        restart_from_fields(grid, tides, params, current, start_time);
+    frames.clear();
+    for (int step = 0; step < T; ++step) {
+      fallback.run_seconds(snapshot_dt);
+      auto snap =
+          ocean::reconstruct_3d(grid, fallback.time(), fallback.zeta(),
+                                fallback.ubar(), fallback.vbar());
+      frames.push_back(data::center_from_snapshot(grid, snap));
+    }
+    outcome.roms_seconds = roms_timer.seconds();
+  }
+  return outcome;
+}
 
 ocean::TidalModel restart_from_fields(const ocean::Grid& grid,
                                       const ocean::TidalForcing& tides,
@@ -78,11 +118,7 @@ WorkflowResult run_workflow(SurrogateModel& model,
 
   WorkflowResult result;
   // Current state, denormalized (seeds verification pairs and fallbacks).
-  data::CenterFields current = truth[0];
-  norm.denormalize(current.u, data::kU);
-  norm.denormalize(current.v, data::kV);
-  norm.denormalize(current.w, data::kW);
-  norm.denormalize(current.zeta, data::kZeta);
+  data::CenterFields current = data::denormalized_copy(truth[0], norm);
   data::CenterFields current_normalized = truth[0];
   double t = start_time;
 
@@ -98,37 +134,16 @@ WorkflowResult run_workflow(SurrogateModel& model,
         truth.subspan(static_cast<size_t>(e * T), static_cast<size_t>(T) + 1);
 
     util::Timer ai_timer;
-    data::Sample sample = make_sample(spec, window);
-    overwrite_initial_condition(spec, sample, current_normalized);
-    SurrogateOutput out = model.forward_sample(sample, false);
-    auto frames = decode_prediction(spec, out, norm);
+    auto frames =
+        forecast_episode(model, spec, norm, window, &current_normalized);
     result.ai_seconds += ai_timer.seconds();
 
-    // Verify the episode including the transition from the current state.
-    util::Timer verify_timer;
-    std::vector<data::CenterFields> seq;
-    seq.reserve(frames.size() + 1);
-    seq.push_back(current);
-    for (auto& f : frames) seq.push_back(f);
-    const auto verdict = verifier.check_sequence(seq, config.snapshot_dt);
-    result.verify_seconds += verify_timer.seconds();
-
-    if (!verdict.pass) {
-      // Fall back: recompute the episode with the numerical model from the
-      // current verified state.
+    const EpisodeOutcome outcome = verify_or_fallback(
+        frames, current, verifier, grid, tides, params, t, config.snapshot_dt);
+    result.verify_seconds += outcome.verify_seconds;
+    result.roms_seconds += outcome.roms_seconds;
+    if (outcome.fallback) {
       ++result.fallbacks;
-      util::Timer roms_timer;
-      ocean::TidalModel fallback =
-          restart_from_fields(grid, tides, params, current, t);
-      frames.clear();
-      for (int step = 0; step < T; ++step) {
-        fallback.run_seconds(config.snapshot_dt);
-        auto snap = ocean::reconstruct_3d(grid, fallback.time(),
-                                          fallback.zeta(), fallback.ubar(),
-                                          fallback.vbar());
-        frames.push_back(data::center_from_snapshot(grid, snap));
-      }
-      result.roms_seconds += roms_timer.seconds();
     } else {
       ++result.accepted;
     }

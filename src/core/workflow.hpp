@@ -38,6 +38,31 @@ struct WorkflowResult {
   }
 };
 
+/// Outcome of verifying one forecast episode (and recomputing it with the
+/// numerical model when the physics check failed).
+struct EpisodeOutcome {
+  VerificationResult verdict;   ///< physics check of the surrogate episode
+  bool fallback = false;        ///< frames were replaced by the ROMS rerun
+  double verify_seconds = 0.0;
+  double roms_seconds = 0.0;
+};
+
+/// The per-episode verification half of the Fig. 1 loop, shared by
+/// run_workflow and the serving layer: check `frames` (T denormalized
+/// surrogate predictions) as a continuation of the verified state
+/// `current` (denormalized); when the mean water-mass residual breaches
+/// the verifier's threshold, recompute the episode with the numerical
+/// model restarted from `current` at `start_time` and replace `frames` in
+/// place.  The returned verdict always describes the *surrogate* episode
+/// (the fallback frames satisfy conservation by construction).
+EpisodeOutcome verify_or_fallback(std::vector<data::CenterFields>& frames,
+                                  const data::CenterFields& current,
+                                  const MassVerifier& verifier,
+                                  const ocean::Grid& grid,
+                                  const ocean::TidalForcing& tides,
+                                  const ocean::PhysicsParams& params,
+                                  double start_time, double snapshot_dt);
+
 /// Restart the numerical model from a (denormalized) cell-centered state:
 /// zeta copied directly, face velocities interpolated from the
 /// depth-averaged centered velocities.

@@ -46,4 +46,21 @@ void Normalizer::normalize_fields(CenterFields& f) const {
   normalize(f.zeta, kZeta);
 }
 
+CenterFields normalized_copy(const CenterFields& denormalized,
+                             const Normalizer& norm) {
+  CenterFields f = denormalized;
+  norm.normalize_fields(f);
+  return f;
+}
+
+CenterFields denormalized_copy(const CenterFields& normalized,
+                               const Normalizer& norm) {
+  CenterFields f = normalized;
+  norm.denormalize(f.u, kU);
+  norm.denormalize(f.v, kV);
+  norm.denormalize(f.w, kW);
+  norm.denormalize(f.zeta, kZeta);
+  return f;
+}
+
 }  // namespace coastal::data

@@ -14,6 +14,17 @@
 
 namespace coastal::data {
 
+class Normalizer;
+
+/// Value-returning frame conversions — the episode-chaining idiom shared
+/// by rollout, the workflow, the serving layer, and the sharded path:
+/// a prediction is denormalized for verification/output, and
+/// renormalized when it seeds the next episode's initial condition.
+CenterFields normalized_copy(const CenterFields& denormalized,
+                             const Normalizer& norm);
+CenterFields denormalized_copy(const CenterFields& normalized,
+                               const Normalizer& norm);
+
 /// Variable order used throughout the pipeline.
 enum Variable : int { kU = 0, kV = 1, kW = 2, kZeta = 3 };
 inline const char* variable_name(int v) {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "nn/layers.hpp"
 #include "tensor/kernels.hpp"
 
 namespace coastal::nn {
@@ -211,8 +212,13 @@ Tensor MultiHeadSelfAttention::forward(const Tensor& x,
   // per-block bookkeeping.  A training forward records a node holding only
   // the [B, h, N] row max/sum statistics and backpropagates through the
   // recompute-based flash backward — no [B, h, N, N] score or dScore
-  // tensor exists on either pass.  Because the gate below depends only on
-  // N and the config — never on whether recording is on — a checkpointed
+  // tensor exists on either pass.  The gate is memory-aware: in auto mode
+  // it routes on the *materialized* B·h·N² score working set against the
+  // measured per-head-dim cache-collapse budget (large serving
+  // micro-batches push the unfused path out of cache at much smaller N),
+  // while an explicit attn_fused_min_n stays a pure N threshold.  Because
+  // the gate below depends only on shapes and the config — never on
+  // whether recording is on — a checkpointed
   // region's initial (recording-off) pass and its backward-time recompute
   // take the *same* path, so the saved region output always matches the
   // recompute bitwise (see nn::inside_checkpoint_region()).  The unfused
@@ -227,8 +233,23 @@ Tensor MultiHeadSelfAttention::forward(const Tensor& x,
   // discarded by nn::checkpoint anyway, and fused_attention rejects a
   // recorded mask gradient loudly.)
   const bool mask_grad = carries_graph(mask);
+  // Serving micro-batches stack G independent requests along the batch
+  // axis (nn::BatchStatScope).  Routing divides them back out, so a
+  // request's kernel path — like its BatchNorm statistics — never
+  // depends on what it happened to be coalesced with: fused and unfused
+  // outputs agree only to float rounding, and a batch-dependent flip
+  // would break the serving layer's bitwise-serial contract.  Training
+  // ignores the scope (mirroring BatchNorm), so a checkpointed region's
+  // backward-time recompute routes exactly like its recorded pass.
+  const int64_t groups = training() ? 1 : BatchStatScope::groups();
+  COASTAL_CHECK_MSG(groups <= 1 || B % groups == 0,
+                    "BatchStatScope groups " << groups
+                                             << " do not divide attention "
+                                                "batch " << B);
+  const int64_t route_b = groups > 1 ? B / groups : B;
   Tensor out;  // [B, h, N, d]
-  if (N >= ker::fused_attention_min_n(head_dim_) && !mask_grad) {
+  if (ker::fused_attention_wins(route_b * heads_, N, head_dim_) &&
+      !mask_grad) {
     out = fused_attention(q, k, v, mask, scale_);
   } else {
     Tensor scores =

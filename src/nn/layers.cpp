@@ -2,7 +2,22 @@
 
 #include <cmath>
 
+#include "util/check.hpp"
+
 namespace coastal::nn {
+
+namespace {
+thread_local int64_t t_batch_stat_groups = 1;
+}  // namespace
+
+BatchStatScope::BatchStatScope(int64_t groups) : prev_(t_batch_stat_groups) {
+  COASTAL_CHECK_MSG(groups >= 1, "BatchStatScope: groups must be >= 1");
+  t_batch_stat_groups = groups;
+}
+
+BatchStatScope::~BatchStatScope() { t_batch_stat_groups = prev_; }
+
+int64_t BatchStatScope::groups() { return t_batch_stat_groups; }
 
 Linear::Linear(int64_t in_features, int64_t out_features, util::Rng& rng,
                bool bias)
@@ -66,7 +81,25 @@ Tensor BatchNorm::forward(const Tensor& x) {
   Tensor xc = x.permute(to_last).reshape({-1, channels_});
 
   Tensor y;
-  if (training() || use_batch_stats_in_eval_) {
+  const int64_t groups = training() ? 1 : BatchStatScope::groups();
+  if ((training() || use_batch_stats_in_eval_) && groups > 1) {
+    // Micro-batched eval (see BatchStatScope): statistics per group of
+    // consecutive batch entries.  mean_axis(1) over [G, R, C] accumulates
+    // each group's R rows in the same ascending order as the [R, C]
+    // axis-0 reduction below, so every group's output is bitwise what a
+    // standalone B == 1 forward produces.
+    const int64_t rows = xc.shape()[0];
+    COASTAL_CHECK_MSG(rows % groups == 0,
+                      "BatchStatScope groups " << groups
+                                               << " do not divide batch rows "
+                                               << rows);
+    Tensor x3 = xc.reshape({groups, rows / groups, channels_});
+    Tensor mean = x3.mean_axis(1, /*keepdim=*/true);          // [G, 1, C]
+    Tensor centered = x3.sub(mean);
+    Tensor var = centered.mul(centered).mean_axis(1, true);   // [G, 1, C]
+    y = centered.div(var.add_scalar(eps_).sqrt())
+            .reshape({rows, channels_});
+  } else if (training() || use_batch_stats_in_eval_) {
     Tensor mean = xc.mean_axis(0, /*keepdim=*/true);              // [1, C]
     Tensor centered = xc.sub(mean);
     Tensor var = centered.mul(centered).mean_axis(0, true);       // [1, C]

@@ -55,6 +55,36 @@ class LayerNorm : public Module {
 /// statistics in eval mode too — deterministic per sample, and the
 /// standard small-batch remedy.  Running stats are still tracked for
 /// inspection.
+/// Scoped marker (thread-local, nests): the calling thread is evaluating a
+/// micro-batch of `groups` *independent* requests stacked along the batch
+/// axis.  While active, an eval-mode BatchNorm with use_batch_stats_in_eval
+/// computes its statistics per group of batch-dim/groups consecutive
+/// entries instead of over the whole batch — each request is normalized by
+/// exactly the statistics it would see served alone, so a micro-batched
+/// forward is bitwise identical per request to B separate forwards (the
+/// per-group reductions visit the same values in the same order as the
+/// B == 1 reduction).  Without this, batching would leak one request's
+/// tidal phase into another's normalization.  The attention modules also
+/// consult the scope: the memory-aware fused-routing gate divides the
+/// stacked batch back out, so a request's kernel path never depends on
+/// what it was coalesced with.  The serving scheduler wraps every
+/// coalesced forward in one; single-request paths need nothing
+/// (groups == 1 is the historic behavior).  Training is unaffected —
+/// modules read the scope only in eval mode.
+class BatchStatScope {
+ public:
+  explicit BatchStatScope(int64_t groups);
+  ~BatchStatScope();
+  BatchStatScope(const BatchStatScope&) = delete;
+  BatchStatScope& operator=(const BatchStatScope&) = delete;
+
+  /// Groups active on this thread; 1 when no scope is open.
+  static int64_t groups();
+
+ private:
+  int64_t prev_;
+};
+
 class BatchNorm : public Module {
  public:
   explicit BatchNorm(int64_t channels, float eps = 1e-5f,

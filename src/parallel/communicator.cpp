@@ -70,6 +70,49 @@ void Comm::allreduce_max(std::span<float> data) {
   barrier();
 }
 
+void Comm::allreduce_sum(std::span<double> data) {
+  bytes_sent_ += 2 * data.size() * sizeof(double);
+  ++messages_sent_;
+  if (rank_ == 0) {
+    world_->reduce_buf64_.assign(data.size(), 0.0);
+    world_->reduce_len64_ = data.size();
+  }
+  barrier();
+  COASTAL_CHECK_MSG(world_->reduce_len64_ == data.size(),
+                    "allreduce size mismatch across ranks");
+  {
+    std::lock_guard<std::mutex> lock(world_->reduce_mutex_);
+    for (size_t i = 0; i < data.size(); ++i)
+      world_->reduce_buf64_[i] += data[i];
+  }
+  barrier();
+  std::copy(world_->reduce_buf64_.begin(), world_->reduce_buf64_.end(),
+            data.begin());
+  barrier();
+}
+
+void Comm::allreduce_max(std::span<double> data) {
+  bytes_sent_ += 2 * data.size() * sizeof(double);
+  ++messages_sent_;
+  if (rank_ == 0) {
+    world_->reduce_buf64_.assign(data.size(),
+                                 -std::numeric_limits<double>::infinity());
+    world_->reduce_len64_ = data.size();
+  }
+  barrier();
+  COASTAL_CHECK_MSG(world_->reduce_len64_ == data.size(),
+                    "allreduce size mismatch across ranks");
+  {
+    std::lock_guard<std::mutex> lock(world_->reduce_mutex_);
+    for (size_t i = 0; i < data.size(); ++i)
+      world_->reduce_buf64_[i] = std::max(world_->reduce_buf64_[i], data[i]);
+  }
+  barrier();
+  std::copy(world_->reduce_buf64_.begin(), world_->reduce_buf64_.end(),
+            data.begin());
+  barrier();
+}
+
 void Comm::broadcast(int root, std::span<float> data) {
   if (rank_ == root) {
     world_->reduce_buf_.assign(data.begin(), data.end());

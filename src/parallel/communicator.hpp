@@ -55,6 +55,12 @@ class Comm {
   void allreduce_sum(std::span<float> data);
   /// In-place max-allreduce.
   void allreduce_max(std::span<float> data);
+  /// Double-precision variants (MPI_DOUBLE reductions): verification
+  /// verdicts accumulate residuals in double per rank, and truncating
+  /// the partials to float could flip a near-threshold pass/fail
+  /// between sharded and serial runs.
+  void allreduce_sum(std::span<double> data);
+  void allreduce_max(std::span<double> data);
   /// Broadcast from `root` into `data` on every rank.
   void broadcast(int root, std::span<float> data);
   /// Gather each rank's buffer (equal sizes) to `root`; out is resized
@@ -106,11 +112,14 @@ class World {
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 
   // Collective scratch: double-buffered reduction area guarded by a
-  // barrier on each side.
+  // barrier on each side.  Float and double collectives keep separate
+  // buffers (a rank sequence may interleave them).
   std::barrier<> barrier_;
   std::mutex reduce_mutex_;
   std::vector<float> reduce_buf_;
   size_t reduce_len_ = 0;
+  std::vector<double> reduce_buf64_;
+  size_t reduce_len64_ = 0;
 };
 
 }  // namespace coastal::par

@@ -4,10 +4,26 @@
 #include <cstdlib>
 #include <exception>
 
+#include "util/check.hpp"
+
 namespace coastal::par {
 
 namespace {
 thread_local bool t_in_worker = false;
+
+/// Bounded idle spin before a worker parks on the condition variable.
+/// Sized to cover the gap between consecutive parallel_for dispatches of a
+/// steady-state serving loop (tens of microseconds) without burning a core
+/// when the pool is genuinely idle.
+constexpr int kIdleSpinIters = 4096;
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
 }  // namespace
 
 int env_thread_override() {
@@ -18,6 +34,11 @@ int env_thread_override() {
 }
 
 ThreadPool::ThreadPool(size_t num_threads) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spawn_locked(num_threads);
+}
+
+void ThreadPool::spawn_locked(size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
@@ -25,6 +46,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
   for (size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  size_.store(workers_.size(), std::memory_order_relaxed);
 }
 
 ThreadPool::~ThreadPool() {
@@ -36,6 +58,39 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+size_t ThreadPool::size() const {
+  return size_.load(std::memory_order_relaxed);
+}
+
+void ThreadPool::resize(size_t num_threads) {
+  COASTAL_CHECK_MSG(!in_worker(),
+                    "ThreadPool::resize() called from a pool worker");
+  std::lock_guard<std::mutex> resize_lock(resize_mutex_);
+  // 0 re-reads the env override *now* (unlike the constructor, which is
+  // also reached at static-init time before a deployment could set it),
+  // falling back to hardware concurrency via spawn_locked.
+  if (num_threads == 0) {
+    num_threads = static_cast<size_t>(env_thread_override());
+  }
+  // Retire the current generation: workers drain the queue (stop_ only
+  // exits a worker once the queue is empty), then join.
+  std::vector<std::thread> old;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+    old.swap(workers_);
+  }
+  cv_.notify_all();
+  for (auto& w : old) w.join();
+  // Spawn the new generation.  A submit() racing this window simply lands
+  // on the queue and is picked up by the fresh workers.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = false;
+    spawn_locked(num_threads);
+  }
+}
+
 std::future<void> ThreadPool::submit(std::function<void()> fn) {
   std::packaged_task<void()> task(std::move(fn));
   auto fut = task.get_future();
@@ -43,6 +98,7 @@ std::future<void> ThreadPool::submit(std::function<void()> fn) {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
   }
+  pending_.fetch_add(1, std::memory_order_release);
   cv_.notify_one();
   return fut;
 }
@@ -92,10 +148,23 @@ void ThreadPool::worker_loop() {
     std::packaged_task<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
+      if (!stop_ && queue_.empty()) {
+        // Warm path: spin briefly off-lock watching the pending counter
+        // before parking, so the next batch's chunks start without a futex
+        // wake.  stop_ is checked again under the lock below.
+        lock.unlock();
+        for (int i = 0; i < kIdleSpinIters &&
+                        pending_.load(std::memory_order_acquire) == 0;
+             ++i) {
+          cpu_relax();
+        }
+        lock.lock();
+      }
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
     }
     task();
   }

@@ -7,6 +7,7 @@
 /// structure (overlapping simulated I/O with compute) even though it cannot
 /// provide speedup.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -32,7 +33,18 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  size_t size() const { return workers_.size(); }
+  size_t size() const;
+
+  /// Re-size the worker pool in place: drains the queue, joins the old
+  /// workers, and spawns `num_threads` fresh ones (0 re-reads
+  /// `COASTAL_NUM_THREADS`, falling back to hardware_concurrency) — so a
+  /// long-lived server can re-size kernel parallelism per deployment
+  /// without a process restart.  Tasks already queued complete under the
+  /// old workers before the swap; tasks submitted concurrently with the
+  /// resize land on whichever generation's queue is open and are never
+  /// lost.  Must not be called from inside a worker (the joining thread
+  /// would deadlock on itself); concurrent resize() calls serialize.
+  void resize(size_t num_threads);
 
   /// Enqueue a task; returns a future for its completion.
   std::future<void> submit(std::function<void()> fn);
@@ -60,12 +72,20 @@ class ThreadPool {
 
  private:
   void worker_loop();
+  void spawn_locked(size_t num_threads);
 
+  mutable std::mutex mutex_;
+  std::mutex resize_mutex_;  ///< serializes resize(); never held by workers
   std::vector<std::thread> workers_;
   std::deque<std::packaged_task<void()>> queue_;
-  std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
+  /// Queued-but-unclaimed task count, readable without the mutex: idle
+  /// workers spin on it briefly before parking on the condition variable,
+  /// so back-to-back parallel_for batches (the serving steady state) reach
+  /// warm workers without paying a futex wake per dispatch.
+  std::atomic<int64_t> pending_{0};
+  std::atomic<size_t> size_{0};  ///< == workers_.size(); lock-free for size()
 };
 
 }  // namespace coastal::par

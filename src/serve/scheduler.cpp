@@ -1,0 +1,99 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace coastal::serve {
+
+RequestQueue::RequestQueue(size_t capacity) : capacity_(capacity) {
+  COASTAL_CHECK_MSG(capacity >= 1, "RequestQueue capacity must be >= 1");
+}
+
+bool RequestQueue::push(PendingRequest& p, bool block) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (block) {
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+  }
+  if (closed_ || items_.size() >= capacity_) return false;
+  items_.push_back(std::move(p));
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+void RequestQueue::extract_locked(int model_id, size_t max,
+                                  std::vector<PendingRequest>& out) {
+  for (auto it = items_.begin(); it != items_.end() && out.size() < max;) {
+    if (it->request.model_id == model_id) {
+      out.push_back(std::move(*it));
+      it = items_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<PendingRequest> RequestQueue::pop_batch(
+    const BatchPolicy& policy) {
+  const size_t max =
+      static_cast<size_t>(std::max(1, policy.max_batch));
+  std::vector<PendingRequest> batch;
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return batch;  // closed and drained
+
+  const int key = items_.front().request.model_id;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(policy.max_wait_us);
+  // Every extraction immediately wakes blocked producers: under the
+  // kBlock policy at saturation the *only* way new requests can arrive
+  // during the collection window is a producer unblocking into the slots
+  // this pop just freed — deferring the wake to the end of the pop would
+  // make every saturated batch stall the full window for arrivals that
+  // cannot happen.
+  auto extract_and_wake = [&](int k) {
+    const size_t before = batch.size();
+    extract_locked(k, max, batch);
+    if (batch.size() != before) not_full_.notify_all();
+  };
+  extract_and_wake(key);
+  // Collection window: wait for more same-key arrivals until the batch is
+  // full or the window closes.  Other-key requests that arrive meanwhile
+  // stay queued (and wake other workers via the notify in push()).
+  while (batch.size() < max && !closed_ && policy.max_wait_us > 0) {
+    if (not_empty_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      extract_and_wake(key);
+      break;
+    }
+    extract_and_wake(key);
+    // A push's notify_one may have landed here instead of on an idle
+    // worker; if other-key work is queued, forward the wake so it is
+    // served concurrently rather than after this window closes.
+    if (!items_.empty()) not_empty_.notify_one();
+  }
+  if (batch.size() < max && closed_) extract_and_wake(key);
+  return batch;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+size_t RequestQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return items_.size();
+}
+
+}  // namespace coastal::serve

@@ -1,0 +1,363 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "core/decode.hpp"
+#include "core/rollout.hpp"
+#include "nn/layers.hpp"
+#include "parallel/thread_pool.hpp"
+#include "tensor/kernels.hpp"
+#include "tensor/storage.hpp"
+#include "tensor/tensor.hpp"
+#include "util/check.hpp"
+
+namespace coastal::serve {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+double seconds_between(clock::time_point a, clock::time_point b) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(b - a)
+      .count();
+}
+
+/// Geometric latency bucket (ratio 2^(1/4), anchored at 1 µs).
+int latency_bucket(double seconds, int nbuckets) {
+  const double us = seconds * 1e6;
+  if (us <= 1.0) return 0;
+  const int idx = static_cast<int>(4.0 * std::log2(us));
+  return std::min(std::max(idx, 0), nbuckets - 1);
+}
+
+/// Representative latency (ms) of a bucket's midpoint.
+double bucket_ms(int idx) {
+  return std::exp2((idx + 0.5) / 4.0) * 1e-3;
+}
+
+/// Bitwise window equality — the identical-request coalescing predicate.
+/// memcmp (not float ==) so NaN payloads and signed zeros never merge
+/// episodes that would decode differently.
+bool same_window(const std::vector<data::CenterFields>& a,
+                 const std::vector<data::CenterFields>& b) {
+  if (a.size() != b.size()) return false;
+  auto eq = [](const std::vector<float>& p, const std::vector<float>& q) {
+    return p.size() == q.size() &&
+           std::memcmp(p.data(), q.data(), p.size() * sizeof(float)) == 0;
+  };
+  for (size_t t = 0; t < a.size(); ++t) {
+    const auto& x = a[t];
+    const auto& y = b[t];
+    if (x.nx != y.nx || x.ny != y.ny || x.nz != y.nz) return false;
+    if (!eq(x.u, y.u) || !eq(x.v, y.v) || !eq(x.w, y.w) ||
+        !eq(x.zeta, y.zeta)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double percentile_ms(const std::array<uint64_t, 64>& hist, uint64_t total,
+                     double q) {
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (int i = 0; i < 64; ++i) {
+    cum += static_cast<double>(hist[static_cast<size_t>(i)]);
+    if (cum >= target) return bucket_ms(i);
+  }
+  return bucket_ms(63);
+}
+
+}  // namespace
+
+ForecastServer::ForecastServer(std::vector<ModelSlot> models,
+                               const data::Normalizer& norm,
+                               const ocean::Grid* grid,
+                               const ServerConfig& config)
+    : models_(std::move(models)),
+      norm_(norm),
+      grid_(grid),
+      config_(config),
+      queue_(config.queue_capacity) {
+  COASTAL_CHECK_MSG(!models_.empty(), "ForecastServer needs >= 1 model slot");
+  for (const auto& slot : models_) {
+    COASTAL_CHECK_MSG(slot.model != nullptr, "null model in slot");
+    slot.model->set_training(false);
+  }
+  if (grid_ && config_.verify) {
+    verifier_.emplace(*grid_, config_.threshold);
+  }
+  COASTAL_CHECK_MSG(!config_.fallback || (grid_ && config_.verify),
+                    "the ROMS fallback requires a grid and verify=true");
+  for (size_t i = 0; i < models_.size(); ++i) {
+    model_mutexes_.push_back(std::make_unique<std::mutex>());
+  }
+  if (config_.kernel_threads > 0) {
+    // Deployment-time kernel sizing: the pool and the kernel chunking
+    // config move together so dispatch decisions never drift from the
+    // workers actually available.
+    par::ThreadPool::global().resize(
+        static_cast<size_t>(config_.kernel_threads));
+    tensor::kernels::config().num_threads = config_.kernel_threads;
+  }
+  const int nworkers = std::max(1, config_.workers);
+  workers_.reserve(static_cast<size_t>(nworkers));
+  for (int i = 0; i < nworkers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ForecastServer::~ForecastServer() { shutdown(); }
+
+void ForecastServer::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  queue_.close();
+  for (auto& w : workers_) w.join();
+}
+
+std::optional<std::future<ForecastResult>> ForecastServer::submit(
+    ForecastRequest request) {
+  COASTAL_CHECK_MSG(request.model_id >= 0 &&
+                        request.model_id < static_cast<int>(models_.size()),
+                    "bad model_id " << request.model_id);
+  const auto& spec = models_[static_cast<size_t>(request.model_id)].spec;
+  COASTAL_CHECK_MSG(
+      request.window.size() == static_cast<size_t>(spec.T) + 1,
+      "request needs T+1 = " << spec.T + 1 << " frames, got "
+                             << request.window.size());
+  for (const auto& f : request.window) {
+    COASTAL_CHECK_MSG(f.nx == spec.src_nx && f.ny == spec.src_ny &&
+                          f.nz == spec.src_nz,
+                      "request frame dims (" << f.nx << "," << f.ny << ","
+                                             << f.nz
+                                             << ") do not match the spec");
+  }
+
+  PendingRequest pending;
+  pending.request = std::move(request);
+  pending.enqueued = clock::now();
+  auto future = pending.promise.get_future();
+  // Count the submission *before* the (potentially blocking) push: a fast
+  // worker can pop and serve the request while this thread is still here,
+  // and a stats() snapshot must never show served > submitted.
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++submitted_;
+  }
+  const bool accepted =
+      queue_.push(pending, config_.overflow == ServerConfig::Overflow::kBlock);
+  if (!accepted) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    --submitted_;
+    ++rejected_;
+    return std::nullopt;
+  }
+  return future;
+}
+
+void ForecastServer::worker_loop() {
+  for (;;) {
+    std::vector<PendingRequest> batch = queue_.pop_batch(config_.batch);
+    if (batch.empty()) return;  // closed and drained
+    serve_batch(batch);
+  }
+}
+
+void ForecastServer::serve_batch(std::vector<PendingRequest>& batch) {
+  const auto t_assembled = clock::now();
+  const int model_id = batch.front().request.model_id;
+  auto& slot = models_[static_cast<size_t>(model_id)];
+  const data::SampleSpec& spec = slot.spec;
+
+  // Identical-episode coalescing: uniques[u] is the exemplar request of
+  // batch entry u; owner[i] maps each request to its entry.
+  std::vector<size_t> uniques;
+  std::vector<size_t> owner(batch.size());
+  uniques.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    size_t u = uniques.size();
+    if (config_.batch.coalesce_identical) {
+      for (size_t j = 0; j < uniques.size(); ++j) {
+        if (same_window(batch[uniques[j]].request.window,
+                        batch[i].request.window)) {
+          u = j;
+          break;
+        }
+      }
+    }
+    if (u == uniques.size()) uniques.push_back(i);
+    owner[i] = u;
+  }
+  const int64_t B = static_cast<int64_t>(uniques.size());
+  std::vector<int> sharers(uniques.size(), 0);
+  for (size_t o : owner) ++sharers[o];
+
+  std::vector<std::vector<data::CenterFields>> decoded(uniques.size());
+  try {
+    // Everything tensor-shaped in this block — the per-request samples,
+    // the stacked batch, the forward activations, the batched output —
+    // bump-allocates from the arena and is released in bulk at scope
+    // exit, so a warmed-up server allocates nothing here.  Only the
+    // decoded CenterFields (plain vectors) escape.
+    tensor::ArenaScope arena;
+    tensor::NoGradGuard ng;
+
+    // Pack the batch *before* taking the model mutex: sample construction
+    // and stacking touch only request data and this worker's arena, so
+    // another worker's forward overlaps them (the pipeline overlap
+    // promised in server.hpp).
+    tensor::Tensor vol, surf;
+    {
+      // Coalesce: stack the distinct episodes along the batch dimension.
+      std::vector<tensor::Tensor> vols, surfs;
+      vols.reserve(uniques.size());
+      surfs.reserve(uniques.size());
+      for (size_t u : uniques) {
+        data::Sample sample = data::make_sample(spec, batch[u].request.window);
+        tensor::Shape vs = sample.volume.shape();
+        tensor::Shape ss = sample.surface.shape();
+        tensor::Shape bvs{1}, bss{1};
+        bvs.insert(bvs.end(), vs.begin(), vs.end());
+        bss.insert(bss.end(), ss.begin(), ss.end());
+        vols.push_back(sample.volume.reshape(bvs));
+        surfs.push_back(sample.surface.reshape(bss));
+      }
+      vol = B == 1 ? std::move(vols[0]) : tensor::concat(vols, 0);
+      surf = B == 1 ? std::move(surfs[0]) : tensor::concat(surfs, 0);
+    }
+    core::SurrogateOutput out;
+    {
+      // One batch in flight per model (see file comment in server.hpp).
+      std::lock_guard<std::mutex> model_lock(
+          *model_mutexes_[static_cast<size_t>(model_id)]);
+      // Grouped BatchNorm statistics (and per-request attention routing):
+      // each coalesced episode is normalized exactly as it would be
+      // served alone, which is what makes the demuxed results
+      // bitwise-serial (see nn::BatchStatScope).
+      nn::BatchStatScope stat_groups(B);
+      out = slot.model->forward(vol, surf);
+    }
+    for (size_t u = 0; u < uniques.size(); ++u) {
+      decoded[u] = core::decode_prediction_entry(
+          spec, out, static_cast<int64_t>(u), norm_);
+    }
+  } catch (...) {
+    for (auto& p : batch) p.promise.set_exception(std::current_exception());
+    return;
+  }
+
+  // Batch-composition stats land before any promise resolves, so a
+  // client that observes its result also observes the batch that carried
+  // it.
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++batches_;
+    coalesced_ += batch.size() - uniques.size();
+    const int bucket = std::min<int>(
+        static_cast<int>(B), ServerStatsSnapshot::kBatchHistBuckets);
+    ++batch_hist_[static_cast<size_t>(bucket - 1)];
+  }
+
+  // Per-entry epilogue: verification and fallback once per distinct
+  // episode, then fan the outcome out to every sharer.  Outside the arena
+  // and the model lock, so other workers' forwards overlap it.
+  for (size_t u = 0; u < uniques.size(); ++u) {
+    bool entry_fallback = false, entry_verified = false;
+    core::VerificationResult entry_verdict;
+    try {
+      if (verifier_) {
+        const data::CenterFields current = data::denormalized_copy(
+            batch[uniques[u]].request.window.front(), norm_);
+        if (config_.fallback) {
+          // current.time is the request's own episode start (copied from
+          // the IC frame), anchoring the restart's tidal phase.
+          const core::EpisodeOutcome outcome = core::verify_or_fallback(
+              decoded[u], current, *verifier_, *grid_,
+              config_.fallback->tides, config_.fallback->params,
+              current.time, config_.snapshot_dt);
+          entry_verdict = outcome.verdict;
+          entry_fallback = outcome.fallback;
+        } else {
+          std::vector<data::CenterFields> seq;
+          seq.reserve(decoded[u].size() + 1);
+          seq.push_back(current);
+          for (auto& f : decoded[u]) seq.push_back(f);
+          entry_verdict = verifier_->check_sequence(seq, config_.snapshot_dt);
+        }
+        entry_verified = true;
+      }
+    } catch (...) {
+      for (size_t i = 0; i < batch.size(); ++i) {
+        if (owner[i] == u) {
+          batch[i].promise.set_exception(std::current_exception());
+        }
+      }
+      continue;
+    }
+    int remaining = sharers[u];
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (owner[i] != u) continue;
+      ForecastResult result;
+      // The last sharer takes the frames by move; earlier ones copy.
+      result.frames = (--remaining == 0) ? std::move(decoded[u]) : decoded[u];
+      result.batch_size = static_cast<int>(B);
+      result.sharers = sharers[u];
+      result.verdict = entry_verdict;
+      result.verified = entry_verified;
+      result.fallback = entry_fallback;
+      const auto t_done = clock::now();
+      result.queue_seconds = seconds_between(batch[i].enqueued, t_assembled);
+      result.service_seconds = seconds_between(t_assembled, t_done);
+      record_latency(seconds_between(batch[i].enqueued, t_done));
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++served_;
+        if (result.fallback) ++fallbacks_;
+        if (first_serve_ == clock::time_point{}) first_serve_ = t_assembled;
+        last_serve_ = t_done;
+      }
+      batch[i].promise.set_value(std::move(result));
+    }
+  }
+}
+
+void ForecastServer::record_latency(double seconds) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++latency_hist_[static_cast<size_t>(
+      latency_bucket(seconds, kLatencyBuckets))];
+}
+
+ServerStatsSnapshot ForecastServer::stats() const {
+  ServerStatsSnapshot s;
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  s.submitted = submitted_;
+  s.served = served_;
+  s.rejected = rejected_;
+  s.fallbacks = fallbacks_;
+  s.batches = batches_;
+  s.coalesced = coalesced_;
+  s.batch_hist = batch_hist_;
+  s.queue_depth = queue_.depth();
+  uint64_t total = 0;
+  for (uint64_t c : latency_hist_) total += c;
+  s.p50_ms = percentile_ms(latency_hist_, total, 0.50);
+  s.p95_ms = percentile_ms(latency_hist_, total, 0.95);
+  s.p99_ms = percentile_ms(latency_hist_, total, 0.99);
+  if (batches_ > 0) {
+    s.mean_batch = static_cast<double>(served_) / static_cast<double>(batches_);
+  }
+  if (served_ > 0 && last_serve_ > first_serve_) {
+    s.throughput_rps = static_cast<double>(served_) /
+                       seconds_between(first_serve_, last_serve_);
+  }
+  return s;
+}
+
+}  // namespace coastal::serve

@@ -1,0 +1,167 @@
+#pragma once
+
+/// \file server.hpp
+/// ForecastServer — the serving front end that turns the paper's
+/// one-forecast-at-a-time workflow (Fig. 1) into a concurrent service.
+///
+/// Architecture (pacs_bridge-style service layer around the domain core):
+///
+///   clients ──submit()──▶ RequestQueue (bounded; block-or-reject)
+///                             │ pop_batch (max-batch / max-wait)
+///                        worker pool ──▶ identical-episode collapse
+///                             │        ──▶ coalesced surrogate forward
+///                             │            (one batch in flight per model)
+///                             ├─▶ per-entry decode + verification
+///                             ├─▶ numerical-model fallback on failure
+///                             └─▶ promise fan-out + ServerStats
+///
+/// Concurrency contract: each model slot's forward runs under a per-model
+/// mutex — the surrogate's Swin blocks keep a lazily grown window-mask
+/// cache, and on a shared-memory host the kernels already parallelize one
+/// forward across every core, so overlapping forwards of the *same* model
+/// would race the cache for no throughput.  Workers instead overlap the
+/// serial per-request stages (sample packing, decode, verification, ROMS
+/// fallback) with the next batch's forward.  Throughput comes from the
+/// micro-batching itself: see scheduler.hpp.
+///
+/// Results are bitwise identical to serial execution: every request's
+/// frames match a one-request-at-a-time run of the same episode exactly,
+/// for any arrival interleaving and any max_batch (grouped BatchNorm
+/// statistics + batch-invariant kernels; pinned in tests/test_serve.cpp).
+///
+/// Steady-state serving performs zero heap allocations per episode: each
+/// worker wraps a served batch in a tensor::ArenaScope, so all episode
+/// tensors bump-allocate from recycled pooled chunks (also pinned in
+/// test_serve.cpp via alloc_stats().total_allocs).
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/surrogate.hpp"
+#include "core/workflow.hpp"
+#include "serve/scheduler.hpp"
+
+namespace coastal::serve {
+
+/// One servable (model, sample geometry) pair.  The model pointer is
+/// non-owning and must outlive the server; the server flips it to eval
+/// mode and serializes its forwards internally.
+struct ModelSlot {
+  core::SurrogateModel* model = nullptr;
+  data::SampleSpec spec;
+};
+
+/// Optional numerical-model fallback context (run_workflow's ROMS rerun).
+/// The restart's tidal phase is anchored per request by the episode's own
+/// initial-condition frame time (CenterFields::time), so traffic whose
+/// windows advance through the forecast horizon falls back consistently.
+struct FallbackContext {
+  ocean::TidalForcing tides;
+  ocean::PhysicsParams params;
+};
+
+struct ServerConfig {
+  int workers = 1;             ///< episode pipeline workers
+  size_t queue_capacity = 64;  ///< backpressure bound
+
+  /// Full-queue policy: block the submitter until a slot frees, or reject
+  /// immediately (submit() returns nullopt and the rejection is counted).
+  enum class Overflow { kBlock, kReject };
+  Overflow overflow = Overflow::kBlock;
+
+  BatchPolicy batch;  ///< micro-batch coalescing knobs
+
+  double threshold = 4.0e-4;    ///< mass-residual bound, m/s
+  double snapshot_dt = 1800.0;  ///< seconds between forecast snapshots
+  bool verify = true;  ///< run the physics check (needs a grid)
+
+  /// When > 0: resize the global kernel thread pool (and the kernel
+  /// config's chunking decisions) to this many workers at server
+  /// construction — deployment-time sizing without a process restart.
+  int kernel_threads = 0;
+
+  std::optional<FallbackContext> fallback;  ///< enable the ROMS rerun
+};
+
+/// Aggregated serving metrics; `snapshot()` is safe to call while serving.
+struct ServerStatsSnapshot {
+  uint64_t submitted = 0;
+  uint64_t served = 0;
+  uint64_t rejected = 0;
+  uint64_t fallbacks = 0;
+  uint64_t batches = 0;    ///< coalesced forwards executed
+  uint64_t coalesced = 0;  ///< requests served by sharing an identical entry
+  double p50_ms = 0.0;       ///< end-to-end request latency percentiles
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double throughput_rps = 0.0;  ///< served / wall time of the serving span
+  /// Requests per coalesced forward (served / batches) — counts sharers
+  /// of collapsed identical episodes, unlike batch_hist below.
+  double mean_batch = 0.0;
+  /// batch_hist[i] counts forwards with i+1 *distinct* episodes (last
+  /// bucket: >= kBatchHistBuckets).
+  static constexpr int kBatchHistBuckets = 16;
+  std::array<uint64_t, kBatchHistBuckets> batch_hist{};
+  size_t queue_depth = 0;  ///< instantaneous
+  double fallback_rate() const {
+    return served ? static_cast<double>(fallbacks) / served : 0.0;
+  }
+};
+
+class ForecastServer {
+ public:
+  /// `grid` (non-owning, may be null) enables verification and the ROMS
+  /// fallback; without it episodes are served unverified.
+  ForecastServer(std::vector<ModelSlot> models, const data::Normalizer& norm,
+                 const ocean::Grid* grid, const ServerConfig& config);
+  ~ForecastServer();  ///< graceful: shutdown() if still running
+
+  ForecastServer(const ForecastServer&) = delete;
+  ForecastServer& operator=(const ForecastServer&) = delete;
+
+  /// Enqueue one episode.  Returns the result future, or nullopt when the
+  /// request was rejected (queue full under Overflow::kReject, or server
+  /// shut down).  Validates the window against the slot's spec.
+  std::optional<std::future<ForecastResult>> submit(ForecastRequest request);
+
+  /// Stop accepting requests, drain every queued episode, join workers.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+  ServerStatsSnapshot stats() const;
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  void worker_loop();
+  void serve_batch(std::vector<PendingRequest>& batch);
+  void record_latency(double seconds);
+
+  std::vector<ModelSlot> models_;
+  std::vector<std::unique_ptr<std::mutex>> model_mutexes_;
+  const data::Normalizer& norm_;
+  const ocean::Grid* grid_;
+  ServerConfig config_;
+  std::optional<core::MassVerifier> verifier_;  ///< engaged when grid_ set
+
+  RequestQueue queue_;
+  std::vector<std::thread> workers_;
+  bool shut_down_ = false;
+  std::mutex shutdown_mutex_;
+
+  // Stats: one mutex guards the counters and the log-bucketed latency
+  // histogram (64 geometric buckets, ratio 2^(1/4), from 1 µs).
+  static constexpr int kLatencyBuckets = 64;
+  mutable std::mutex stats_mutex_;
+  uint64_t submitted_ = 0, served_ = 0, rejected_ = 0, fallbacks_ = 0,
+           batches_ = 0, coalesced_ = 0;
+  std::array<uint64_t, kLatencyBuckets> latency_hist_{};
+  std::array<uint64_t, ServerStatsSnapshot::kBatchHistBuckets> batch_hist_{};
+  std::chrono::steady_clock::time_point first_serve_{};
+  std::chrono::steady_clock::time_point last_serve_{};
+};
+
+}  // namespace coastal::serve

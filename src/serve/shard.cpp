@@ -1,0 +1,398 @@
+#include "serve/shard.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/rollout.hpp"
+#include "core/workflow.hpp"
+#include "parallel/communicator.hpp"
+#include "tensor/storage.hpp"
+#include "tensor/tensor.hpp"
+#include "util/check.hpp"
+
+namespace coastal::serve {
+
+namespace {
+
+/// A rank's tile plus per-side halo widths: a side only carries a halo
+/// when a neighbour exists there, so a 1-rank decomposition is exactly
+/// the unpadded global domain (the bitwise-equality contract).
+struct TileExt {
+  par::Tile tile;
+  int hw = 0, he = 0, hs = 0, hn = 0;  ///< west/east/south/north halos
+  int pnx = 0, pny = 0;                ///< padded local extents
+
+  int gx0() const { return tile.x0 - hw; }  ///< global x of local ix = 0
+  int gy0() const { return tile.y0 - hs; }
+  size_t l2(int gx, int gy) const {
+    return static_cast<size_t>(gy - gy0()) * static_cast<size_t>(pnx) +
+           static_cast<size_t>(gx - gx0());
+  }
+  size_t l3(int k, int gx, int gy) const {
+    return (static_cast<size_t>(k) * static_cast<size_t>(pny) +
+            static_cast<size_t>(gy - gy0())) *
+               static_cast<size_t>(pnx) +
+           static_cast<size_t>(gx - gx0());
+  }
+};
+
+TileExt make_tile_ext(int rank, int px, int py, int nx, int ny, int halo) {
+  TileExt t;
+  t.tile = par::make_tile(rank, px, py, nx, ny, halo);
+  t.hw = t.tile.neighbor(-1, 0) >= 0 ? halo : 0;
+  t.he = t.tile.neighbor(+1, 0) >= 0 ? halo : 0;
+  t.hs = t.tile.neighbor(0, -1) >= 0 ? halo : 0;
+  t.hn = t.tile.neighbor(0, +1) >= 0 ? halo : 0;
+  t.pnx = t.tile.nx_local() + t.hw + t.he;
+  t.pny = t.tile.ny_local() + t.hs + t.hn;
+  return t;
+}
+
+/// Copy the tile's padded window out of a global frame.
+data::CenterFields extract_tile(const data::CenterFields& g,
+                                const TileExt& t) {
+  data::CenterFields f;
+  f.nx = t.pnx;
+  f.ny = t.pny;
+  f.nz = g.nz;
+  f.time = g.time;
+  const size_t n2 = static_cast<size_t>(t.pnx) * t.pny;
+  f.u.resize(n2 * static_cast<size_t>(g.nz));
+  f.v.resize(n2 * static_cast<size_t>(g.nz));
+  f.w.resize(n2 * static_cast<size_t>(g.nz));
+  f.zeta.resize(n2);
+  for (int k = 0; k < g.nz; ++k) {
+    for (int gy = t.gy0(); gy < t.tile.y1 + t.hn; ++gy) {
+      for (int gx = t.gx0(); gx < t.tile.x1 + t.he; ++gx) {
+        const size_t src = g.cell3(k, gy, gx);
+        const size_t dst = t.l3(k, gx, gy);
+        f.u[dst] = g.u[src];
+        f.v[dst] = g.v[src];
+        f.w[dst] = g.w[src];
+        if (k == 0) f.zeta[t.l2(gx, gy)] = g.zeta[g.cell2(gy, gx)];
+      }
+    }
+  }
+  return f;
+}
+
+/// Write the tile's *owned* cells into a global frame.  Ranks own
+/// disjoint regions, so concurrent writers never alias — result delivery
+/// uses the shared-memory shortcut while the physical coupling (halos,
+/// verdict) goes through the communicator, whose byte counters then
+/// measure exactly the traffic a distributed run would pay.
+void insert_owned(const data::CenterFields& f, const TileExt& t,
+                  data::CenterFields& g) {
+  for (int k = 0; k < g.nz; ++k) {
+    for (int gy = t.tile.y0; gy < t.tile.y1; ++gy) {
+      for (int gx = t.tile.x0; gx < t.tile.x1; ++gx) {
+        const size_t src = t.l3(k, gx, gy);
+        const size_t dst = g.cell3(k, gy, gx);
+        g.u[dst] = f.u[src];
+        g.v[dst] = f.v[src];
+        g.w[dst] = f.w[src];
+        if (k == 0) g.zeta[g.cell2(gy, gx)] = f.zeta[t.l2(gx, gy)];
+      }
+    }
+  }
+}
+
+/// Direction encoding for ring tags: the tag names the *sender's* edge,
+/// so a rank receives its west halo under its west neighbour's kEast tag.
+enum Dir : int { kWest = 0, kEast = 1, kSouth = 2, kNorth = 3 };
+
+struct Strip {
+  int x0, x1, y0, y1;  ///< global cell range [x0,x1) x [y0,y1)
+};
+
+/// The owned strip this rank sends across `dir`, and the halo strip it
+/// receives from that side.  Both span the owned extent along the edge
+/// (no corners: 5-point coupling, like par::exchange_halo).
+Strip send_strip(const TileExt& t, int dir, int halo) {
+  const auto& tl = t.tile;
+  switch (dir) {
+    case kWest: return {tl.x0, tl.x0 + halo, tl.y0, tl.y1};
+    case kEast: return {tl.x1 - halo, tl.x1, tl.y0, tl.y1};
+    case kSouth: return {tl.x0, tl.x1, tl.y0, tl.y0 + halo};
+    default: return {tl.x0, tl.x1, tl.y1 - halo, tl.y1};
+  }
+}
+
+Strip recv_strip(const TileExt& t, int dir, int halo) {
+  const auto& tl = t.tile;
+  switch (dir) {
+    case kWest: return {tl.x0 - halo, tl.x0, tl.y0, tl.y1};
+    case kEast: return {tl.x1, tl.x1 + halo, tl.y0, tl.y1};
+    case kSouth: return {tl.x0, tl.x1, tl.y0 - halo, tl.y0};
+    default: return {tl.x0, tl.x1, tl.y1, tl.y1 + halo};
+  }
+}
+
+int neighbor_of(const TileExt& t, int dir) {
+  switch (dir) {
+    case kWest: return t.tile.neighbor(-1, 0);
+    case kEast: return t.tile.neighbor(+1, 0);
+    case kSouth: return t.tile.neighbor(0, -1);
+    default: return t.tile.neighbor(0, +1);
+  }
+}
+
+int opposite(int dir) {
+  switch (dir) {
+    case kWest: return kEast;
+    case kEast: return kWest;
+    case kSouth: return kNorth;
+    default: return kSouth;
+  }
+}
+
+size_t strip_floats(const Strip& s, int nz) {
+  return static_cast<size_t>(s.x1 - s.x0) * static_cast<size_t>(s.y1 - s.y0) *
+         (3 * static_cast<size_t>(nz) + 1);
+}
+
+/// Pack/unpack a strip in a fixed (var, layer, y, x) global order — both
+/// sides iterate ascending global coordinates, so the wire format needs
+/// no header.
+void pack_strip(const data::CenterFields& f, const TileExt& t,
+                const Strip& s, std::vector<float>& buf) {
+  buf.resize(strip_floats(s, f.nz));
+  size_t i = 0;
+  for (const auto* var : {&f.u, &f.v, &f.w}) {
+    for (int k = 0; k < f.nz; ++k)
+      for (int gy = s.y0; gy < s.y1; ++gy)
+        for (int gx = s.x0; gx < s.x1; ++gx)
+          buf[i++] = (*var)[t.l3(k, gx, gy)];
+  }
+  for (int gy = s.y0; gy < s.y1; ++gy)
+    for (int gx = s.x0; gx < s.x1; ++gx) buf[i++] = f.zeta[t.l2(gx, gy)];
+}
+
+void unpack_strip(const std::vector<float>& buf, const TileExt& t,
+                  const Strip& s, data::CenterFields& f) {
+  size_t i = 0;
+  for (auto* var : {&f.u, &f.v, &f.w}) {
+    for (int k = 0; k < f.nz; ++k)
+      for (int gy = s.y0; gy < s.y1; ++gy)
+        for (int gx = s.x0; gx < s.x1; ++gx)
+          (*var)[t.l3(k, gx, gy)] = buf[i++];
+  }
+  for (int gy = s.y0; gy < s.y1; ++gy)
+    for (int gx = s.x0; gx < s.x1; ++gx) f.zeta[t.l2(gx, gy)] = buf[i++];
+}
+
+/// Refresh the halo ring of one frame from the four edge neighbours.
+/// Sends are buffered (mailbox semantics), so everyone sends first and
+/// receives second without deadlock-ordering concerns.
+void exchange_ring(par::Comm& comm, const TileExt& t, int halo,
+                   data::CenterFields& f, int frame_tag,
+                   std::vector<float>& sendbuf, std::vector<float>& recvbuf) {
+  for (int dir = 0; dir < 4; ++dir) {
+    const int nb = neighbor_of(t, dir);
+    if (nb < 0) continue;
+    pack_strip(f, t, send_strip(t, dir, halo), sendbuf);
+    comm.send(nb, frame_tag * 8 + dir, sendbuf);
+  }
+  for (int dir = 0; dir < 4; ++dir) {
+    const int nb = neighbor_of(t, dir);
+    if (nb < 0) continue;
+    const Strip s = recv_strip(t, dir, halo);
+    recvbuf.resize(strip_floats(s, f.nz));
+    comm.recv(nb, frame_tag * 8 + opposite(dir), recvbuf);
+    unpack_strip(recvbuf, t, s, f);
+  }
+}
+
+/// core::cell_residual accessor over a halo-padded tile: global grid
+/// indices map through TileExt into the local padded arrays, and a cell
+/// at a tile edge reads its neighbour's state from the freshly exchanged
+/// halo.  The stencil itself is the serial verifier's (one shared
+/// implementation — see verification.hpp).
+struct TileAccessor {
+  const TileExt& t;
+  const data::CenterFields& a;
+  const data::CenterFields& b;
+  int nz() const { return b.nz; }
+  float u(int k, int gx, int gy) const { return b.u[t.l3(k, gx, gy)]; }
+  float v(int k, int gx, int gy) const { return b.v[t.l3(k, gx, gy)]; }
+  float zeta(int gx, int gy) const { return b.zeta[t.l2(gx, gy)]; }
+  float zeta_prev(int gx, int gy) const { return a.zeta[t.l2(gx, gy)]; }
+};
+
+/// Per-rank partial of MassVerifier::check_pair over this rank's owned
+/// cells; the global mean/max emerge from allreduce_sum / allreduce_max.
+struct ResidualPartial {
+  double sum = 0.0;
+  double worst = 0.0;
+  int64_t count = 0;
+};
+
+ResidualPartial tile_residual(const ocean::Grid& grid, const TileExt& t,
+                              const data::CenterFields& a,
+                              const data::CenterFields& b, double dt) {
+  ResidualPartial r;
+  const TileAccessor f{t, a, b};
+  for (int gy = t.tile.y0; gy < t.tile.y1; ++gy) {
+    for (int gx = t.tile.x0; gx < t.tile.x1; ++gx) {
+      if (!grid.wet(gx, gy)) continue;
+      const double residual = core::cell_residual(grid, f, gx, gy, dt);
+      r.sum += residual;
+      r.worst = std::max(r.worst, residual);
+      ++r.count;
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+std::vector<data::SampleSpec> sharded_tile_specs(
+    const data::SampleSpec& global_spec, const ShardConfig& config) {
+  COASTAL_CHECK_MSG(config.ranks >= 1 && config.halo >= 1,
+                    "ShardConfig: need ranks >= 1 and halo >= 1");
+  const auto pg = par::choose_grid(config.ranks, global_spec.src_nx,
+                                   global_spec.src_ny);
+  std::vector<data::SampleSpec> specs;
+  specs.reserve(static_cast<size_t>(config.ranks));
+  for (int r = 0; r < config.ranks; ++r) {
+    const TileExt t = make_tile_ext(r, pg[0], pg[1], global_spec.src_nx,
+                                    global_spec.src_ny, config.halo);
+    specs.push_back(data::make_spec(t.pny, t.pnx, global_spec.src_nz,
+                                    global_spec.T, config.multiple_hw,
+                                    config.multiple_d));
+  }
+  return specs;
+}
+
+ShardedForecast run_sharded_forecast(
+    std::span<core::SurrogateModel* const> tile_models,
+    const data::SampleSpec& global_spec, const data::Normalizer& norm,
+    const ocean::Grid* grid,
+    std::span<const data::CenterFields> truth, int episodes,
+    const ShardConfig& config) {
+  const int T = global_spec.T;
+  const int ranks = config.ranks;
+  COASTAL_CHECK_MSG(static_cast<int>(tile_models.size()) == ranks,
+                    "need one tile model per rank");
+  COASTAL_CHECK_MSG(truth.size() >= static_cast<size_t>(episodes * T + 1),
+                    "sharded forecast needs " << episodes * T + 1
+                                              << " frames, got "
+                                              << truth.size());
+  const auto specs = sharded_tile_specs(global_spec, config);
+  for (int r = 0; r < ranks; ++r) {
+    const auto& mc = tile_models[static_cast<size_t>(r)]->config();
+    COASTAL_CHECK_MSG(mc.H == specs[static_cast<size_t>(r)].H &&
+                          mc.W == specs[static_cast<size_t>(r)].W &&
+                          mc.D == specs[static_cast<size_t>(r)].D &&
+                          mc.T == T,
+                      "tile model " << r << " does not match its tile spec");
+  }
+  const auto pg =
+      par::choose_grid(ranks, global_spec.src_nx, global_spec.src_ny);
+  const bool verify = config.verify && grid != nullptr;
+
+  ShardedForecast result;
+  result.process_grid = pg;
+  result.verified = verify;
+  // Pre-size the stitched frames; ranks fill disjoint owned regions.
+  {
+    data::CenterFields proto;
+    proto.nx = global_spec.src_nx;
+    proto.ny = global_spec.src_ny;
+    proto.nz = global_spec.src_nz;
+    const size_t n2 = static_cast<size_t>(proto.nx) * proto.ny;
+    proto.u.assign(n2 * static_cast<size_t>(proto.nz), 0.0f);
+    proto.v = proto.u;
+    proto.w = proto.u;
+    proto.zeta.assign(n2, 0.0f);
+    result.frames.assign(static_cast<size_t>(episodes * T), proto);
+  }
+
+  std::vector<uint64_t> rank_bytes(static_cast<size_t>(ranks), 0);
+  std::vector<uint64_t> rank_msgs(static_cast<size_t>(ranks), 0);
+
+  par::World world(ranks);
+  world.run([&](par::Comm& comm) {
+    const int rank = comm.rank();
+    const TileExt t = make_tile_ext(rank, pg[0], pg[1], global_spec.src_nx,
+                                    global_spec.src_ny, config.halo);
+    const data::SampleSpec& tspec = specs[static_cast<size_t>(rank)];
+    core::SurrogateModel& model = *tile_models[static_cast<size_t>(rank)];
+    model.set_training(false);
+    tensor::NoGradGuard ng;
+
+    data::CenterFields current_norm;  // next episode's IC (after e = 0)
+    data::CenterFields prev_denorm;   // verification chain tail
+    if (verify) prev_denorm = extract_tile(data::denormalized_copy(truth[0], norm), t);
+
+    double verdict_mean_sum = 0.0, verdict_max = 0.0;
+    bool verdict_pass = true;
+    int64_t verdict_pairs = 0;
+    uint64_t halo_bytes = 0, halo_msgs = 0;
+
+    std::vector<float> sendbuf, recvbuf;
+    std::vector<data::CenterFields> window(static_cast<size_t>(T) + 1);
+
+    for (int e = 0; e < episodes; ++e) {
+      // One arena per episode per rank: all tile sample/activation
+      // tensors bump-allocate and release in bulk, so steady-state
+      // sharded serving allocates nothing (frames are plain vectors).
+      tensor::ArenaScope arena;
+      for (int tt = 0; tt <= T; ++tt) {
+        window[static_cast<size_t>(tt)] =
+            extract_tile(truth[static_cast<size_t>(e * T + tt)], t);
+      }
+      auto frames = core::forecast_episode(model, tspec, norm, window,
+                                           e > 0 ? &current_norm : nullptr);
+      for (int tt = 0; tt < T; ++tt) {
+        auto& frame = frames[static_cast<size_t>(tt)];
+        // Couple the tiles: neighbours' predictions replace this rank's
+        // extrapolation of the ring it does not own.  (Byte deltas isolate
+        // ring traffic from the collectives' accounting below.)
+        const uint64_t b0 = comm.bytes_sent(), m0 = comm.messages_sent();
+        exchange_ring(comm, t, config.halo, frame, e * T + tt, sendbuf,
+                      recvbuf);
+        halo_bytes += comm.bytes_sent() - b0;
+        halo_msgs += comm.messages_sent() - m0;
+        if (verify) {
+          const ResidualPartial p =
+              tile_residual(*grid, t, prev_denorm, frame, config.snapshot_dt);
+          // Double allreduce: the per-rank partials accumulate in double
+          // exactly like the serial verifier, and the reduction must not
+          // truncate them — a float round-off could flip a
+          // near-threshold pass/fail between sharded and serial runs.
+          double sums[2] = {p.sum, static_cast<double>(p.count)};
+          comm.allreduce_sum(sums);
+          double worst[1] = {p.worst};
+          comm.allreduce_max(worst);
+          const double pair_mean = sums[1] > 0 ? sums[0] / sums[1] : 0.0;
+          verdict_mean_sum += pair_mean;
+          verdict_max = std::max(verdict_max, worst[0]);
+          verdict_pass = verdict_pass && pair_mean < config.threshold;
+          ++verdict_pairs;
+          prev_denorm = frame;
+        }
+        insert_owned(frame, t, result.frames[static_cast<size_t>(e * T + tt)]);
+      }
+      current_norm = data::normalized_copy(frames.back(), norm);
+    }
+
+    rank_bytes[static_cast<size_t>(rank)] = halo_bytes;
+    rank_msgs[static_cast<size_t>(rank)] = halo_msgs;
+    if (rank == 0 && verify) {
+      result.verdict.mean_residual =
+          verdict_pairs ? verdict_mean_sum / static_cast<double>(verdict_pairs)
+                        : 0.0;
+      result.verdict.max_residual = verdict_max;
+      result.verdict.pass = verdict_pass;
+    }
+  });
+
+  for (int r = 0; r < ranks; ++r) {
+    result.halo_bytes += rank_bytes[static_cast<size_t>(r)];
+    result.halo_messages += rank_msgs[static_cast<size_t>(r)];
+  }
+  return result;
+}
+
+}  // namespace coastal::serve

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file shard.hpp
+/// Domain-sharded episode execution over the in-process communicator —
+/// the MPI-ROMS decomposition applied to the *surrogate* forecast.
+///
+/// The global horizontal mesh is split into px × py rectangular tiles
+/// (parallel/decomposition's choose_grid / make_tile); each par::World
+/// rank owns one tile, padded by a halo ring on every side that has a
+/// neighbour, and runs its own tile-sized surrogate over it.  The padded
+/// tile is itself a well-formed regional-model problem: make_sample packs
+/// the tile's outermost ring as the boundary forcing, and with halo = 1
+/// that ring IS the halo — interior tiles are forced by their neighbours'
+/// state, boundary tiles by the true open-boundary data.
+///
+/// Episode chaining is where the ranks couple: after each predicted
+/// frame, every rank exchanges its boundary ring with its four edge
+/// neighbours over Comm::send/recv (corner halo cells keep the local
+/// prediction — the stencils here are 5-point, matching
+/// par::exchange_halo's convention), so the next episode's initial
+/// condition sees the neighbours' predictions rather than stale truth.
+/// The water-mass verdict is computed per rank over its owned cells only
+/// and reduced with allreduce_sum / allreduce_max, so every rank (and the
+/// caller) sees one global pass/fail.
+///
+/// Each rank wraps every episode in a tensor::ArenaScope, so steady-state
+/// sharded serving performs zero per-episode heap allocations per rank,
+/// exactly like the unsharded paths.
+///
+/// Fidelity contract: with ranks == 1 the tile is the whole domain, no
+/// halo exists, and the result is bitwise identical to core::rollout on
+/// the same model (pinned in tests/test_serve.cpp).  With ranks > 1 the
+/// forecast is a tile-local approximation of the global surrogate — the
+/// Swin attention field of view stops at the padded tile — which is the
+/// standard regional-decomposition tradeoff; the verification reduction
+/// is exact either way.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/surrogate.hpp"
+#include "core/verification.hpp"
+#include "data/normalization.hpp"
+#include "data/sample.hpp"
+#include "parallel/decomposition.hpp"
+
+namespace coastal::serve {
+
+struct ShardConfig {
+  int ranks = 2;         ///< world size (px * py tiles)
+  int halo = 1;          ///< ghost-ring width on neighbour sides (>= 1)
+  int multiple_hw = 4;   ///< tile spec rounding, as data::make_spec
+  int multiple_d = 2;
+  double threshold = 4.0e-4;    ///< mass-residual bound, m/s
+  double snapshot_dt = 1800.0;  ///< seconds between snapshots
+  bool verify = true;           ///< needs a grid
+};
+
+struct ShardedForecast {
+  /// Stitched global forecast, episodes*T denormalized frames (gathered
+  /// from every rank's owned cells).
+  std::vector<data::CenterFields> frames;
+  core::VerificationResult verdict;  ///< globally reduced; set when verified
+  bool verified = false;
+  std::array<int, 2> process_grid{1, 1};  ///< (px, py)
+  uint64_t halo_bytes = 0;     ///< ring-exchange traffic, all ranks
+  uint64_t halo_messages = 0;
+};
+
+/// The sample geometry of every rank's padded tile, in rank order — build
+/// one tile-sized surrogate per entry before calling run_sharded_forecast
+/// (the spec determines the model's H/W/D/T).
+std::vector<data::SampleSpec> sharded_tile_specs(
+    const data::SampleSpec& global_spec, const ShardConfig& config);
+
+/// Run `episodes` chained episodes of the sharded forecast.  `tile_models`
+/// holds one surrogate per rank, sized for sharded_tile_specs' entries
+/// (checked); models are non-owning and must outlive the call.  `truth`
+/// supplies episodes*T + 1 normalized global frames (IC + boundary data),
+/// `grid` (nullable) enables verification.  Rank threads run concurrently;
+/// each drives only its own model.
+ShardedForecast run_sharded_forecast(
+    std::span<core::SurrogateModel* const> tile_models,
+    const data::SampleSpec& global_spec, const data::Normalizer& norm,
+    const ocean::Grid* grid,
+    std::span<const data::CenterFields> truth_normalized, int episodes,
+    const ShardConfig& config);
+
+}  // namespace coastal::serve

@@ -58,6 +58,21 @@ int64_t fused_attention_min_n(int64_t head_dim) {
   return 640;
 }
 
+bool fused_attention_wins(int64_t nbatch, int64_t n, int64_t head_dim) {
+  const int64_t v = config().attn_fused_min_n;
+  if (v > 0) return n >= v;
+  // Auto: the table entry N_ref marks where the unfused path's
+  // materialized [ref_batch, N, N] score working set collapses out of
+  // cache.  The collapse tracks total score bytes, not N, so compare
+  // nbatch·n² with ref_batch·N_ref² (in double — both products overflow
+  // int64 at servable shapes).  Equality at nbatch == ref_batch reduces
+  // this to the historic `n >= N_ref` gate exactly.
+  const int64_t n_ref = fused_attention_min_n(head_dim);
+  const int64_t ref_b = std::max<int64_t>(1, config().attn_fused_ref_batch);
+  return static_cast<double>(nbatch) * static_cast<double>(n) * n >=
+         static_cast<double>(ref_b) * static_cast<double>(n_ref) * n_ref;
+}
+
 void parallel_for(int64_t total, int64_t cost_per_item,
                   const std::function<void(int64_t, int64_t)>& fn) {
   if (total <= 0) return;

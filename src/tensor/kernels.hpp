@@ -83,6 +83,16 @@ struct KernelConfig {
   /// region's initial pass and its backward-time recompute always pick
   /// the same path.
   int64_t attn_fused_min_n = 0;
+
+  /// nbatch (batch × heads) at which the fused_attention_min_n() auto
+  /// table was measured.  The auto gate (attn_fused_min_n == 0) is
+  /// memory-aware: the unfused path collapses when its *materialized*
+  /// [nbatch, N, N] score working set falls out of cache, so the routing
+  /// decision compares nbatch·N² against ref_batch·N_ref² rather than N
+  /// against N_ref alone — a serving micro-batch 8× the measured one
+  /// reaches the collapse at N/√8, which a pure-N gate would mispredict.
+  /// At nbatch == attn_fused_ref_batch the two gates are identical.
+  int64_t attn_fused_ref_batch = 32;
 };
 
 KernelConfig& config();
@@ -91,6 +101,17 @@ KernelConfig& config();
 /// `config().attn_fused_min_n` when positive, else the measured
 /// head-dim-aware default (see KernelConfig::attn_fused_min_n).
 int64_t fused_attention_min_n(int64_t head_dim);
+
+/// Memory-aware routing decision for a concrete attention problem: true
+/// when the fused streaming kernel should handle an [nbatch, n, n] score
+/// shape at this head dim.  With an explicit `attn_fused_min_n` override
+/// the decision is `n >= attn_fused_min_n` (head-dim- and batch-blind, as
+/// tests that pin a path expect); in auto mode it scales the measured
+/// per-head-dim crossover by the materialized score bytes — see
+/// KernelConfig::attn_fused_ref_batch.  Depends only on shapes and config
+/// (never on recording state or thread count), so checkpoint recompute
+/// and serial/parallel runs always route identically.
+bool fused_attention_wins(int64_t nbatch, int64_t n, int64_t head_dim);
 
 /// Threads the kernels will actually chunk for: `config().num_threads`, or
 /// the `COASTAL_NUM_THREADS` env var, or hardware concurrency.

@@ -564,6 +564,27 @@ TEST(Kernels, AttentionFallbackThresholdKeepsTinyWindowsUnfused) {
             0);
 }
 
+TEST(Kernels, FusedGateIsMemoryAware) {
+  coastal::testing::KernelConfigOverride guard;
+  ker::config().attn_fused_min_n = 0;  // auto mode
+  const int64_t ref_b = ker::config().attn_fused_ref_batch;
+  const int64_t n_ref = ker::fused_attention_min_n(32);
+  // At the reference batch the memory-aware gate reduces to the historic
+  // N threshold exactly.
+  EXPECT_TRUE(ker::fused_attention_wins(ref_b, n_ref, 32));
+  EXPECT_FALSE(ker::fused_attention_wins(ref_b, n_ref - 1, 32));
+  // A 4x batch moves the crossover down to N_ref / 2: same materialized
+  // nbatch*N^2 score bytes.
+  EXPECT_TRUE(ker::fused_attention_wins(4 * ref_b, n_ref / 2, 32));
+  EXPECT_FALSE(ker::fused_attention_wins(ref_b, n_ref / 2, 32));
+  // A tiny batch moves it up: at nbatch = ref_b / 4, N_ref stays unfused.
+  EXPECT_FALSE(ker::fused_attention_wins(ref_b / 4, n_ref, 32));
+  // An explicit attn_fused_min_n stays a pure N threshold at any batch.
+  ker::config().attn_fused_min_n = 100;
+  EXPECT_TRUE(ker::fused_attention_wins(1, 100, 32));
+  EXPECT_FALSE(ker::fused_attention_wins(1 << 20, 99, 32));
+}
+
 // ---------------------------------------------------------------------------
 // Fused (flash-style) attention backward
 // ---------------------------------------------------------------------------

@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
+#include <string>
 
 #include "parallel/communicator.hpp"
 #include "parallel/decomposition.hpp"
@@ -87,6 +89,51 @@ TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
     }
   });
   EXPECT_EQ(inner_total.load(), 40);
+}
+
+TEST(ThreadPool, ResizeSwapsWorkerGenerationsSafely) {
+  par::ThreadPool pool(2);
+  EXPECT_EQ(pool.size(), 2u);
+  // Queue work, then resize mid-flight: nothing may be lost — queued
+  // tasks drain under the old generation or the new one.
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 16; ++i)
+    futs.push_back(pool.submit([&] { counter.fetch_add(1); }));
+  pool.resize(3);
+  EXPECT_EQ(pool.size(), 3u);
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(counter.load(), 16);
+  // The fresh generation serves parallel_for as usual.
+  std::atomic<int> sum{0};
+  pool.parallel_for(0, 100, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) sum.fetch_add(static_cast<int>(i));
+  });
+  EXPECT_EQ(sum.load(), 4950);
+  pool.resize(1);
+  EXPECT_EQ(pool.size(), 1u);
+  pool.parallel_for(0, 10, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) sum.fetch_add(1);
+  });
+  EXPECT_EQ(sum.load(), 4960);
+}
+
+TEST(ThreadPool, ResizeZeroRereadsEnvOverride) {
+  // resize(0) re-reads COASTAL_NUM_THREADS at resize time — the
+  // deployment-sizing path servers use — instead of the value cached at
+  // process start.
+  const char* saved = std::getenv("COASTAL_NUM_THREADS");
+  const std::string saved_copy = saved ? saved : "";
+  setenv("COASTAL_NUM_THREADS", "3", 1);
+  par::ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  pool.resize(0);
+  EXPECT_EQ(pool.size(), 3u);
+  if (saved) {
+    setenv("COASTAL_NUM_THREADS", saved_copy.c_str(), 1);
+  } else {
+    unsetenv("COASTAL_NUM_THREADS");
+  }
 }
 
 TEST(Communicator, PointToPointDelivery) {

@@ -1,0 +1,465 @@
+/// Serving-subsystem tests: micro-batched results bitwise-equal to serial
+/// execution, grouped BatchNorm statistics, backpressure and shutdown
+/// semantics, the numerical fallback through the server, domain-sharded
+/// execution (1-rank bitwise equality, multi-rank halo coupling and
+/// verdict reduction), and the steady-state zero-allocation pin.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <future>
+#include <span>
+#include <thread>
+
+#include "core/rollout.hpp"
+#include "core/workflow.hpp"
+#include "data/dataset.hpp"
+#include "data/normalization.hpp"
+#include "nn/layers.hpp"
+#include "ocean/archive.hpp"
+#include "ocean/bathymetry.hpp"
+#include "serve/server.hpp"
+#include "serve/shard.hpp"
+#include "tensor/storage.hpp"
+#include "tensor/tensor.hpp"
+#include "test_helpers.hpp"
+
+namespace core = coastal::core;
+namespace data = coastal::data;
+namespace nn = coastal::nn;
+namespace ocean = coastal::ocean;
+namespace serve = coastal::serve;
+namespace tensor = coastal::tensor;
+using coastal::util::Rng;
+
+namespace {
+
+core::SurrogateConfig model_config(const data::SampleSpec& spec) {
+  core::SurrogateConfig mcfg;
+  mcfg.H = spec.H;
+  mcfg.W = spec.W;
+  mcfg.D = spec.D;
+  mcfg.T = spec.T;
+  mcfg.patch_h = 5;
+  mcfg.patch_w = 5;
+  mcfg.patch_d = 2;
+  mcfg.embed_dim = 8;
+  mcfg.stages = 3;
+  mcfg.heads = {2, 4, 8};
+  return mcfg;
+}
+
+/// Shared world: simulated archive + normalizer + (untrained) surrogate.
+/// Serving correctness is about data movement and scheduling, not skill,
+/// so no training is needed; the fallback tests force failure with an
+/// impossible threshold exactly as test_workflow does.
+struct ServeWorld {
+  ocean::Grid grid{20, 20, 6, 400.0, 400.0};
+  ocean::TidalForcing tides = ocean::TidalForcing::gulf_coast_default();
+  ocean::PhysicsParams params;
+  std::vector<data::CenterFields> fields;       // denormalized
+  std::vector<data::CenterFields> fields_norm;  // normalized
+  data::Normalizer norm;
+  data::SampleSpec spec;
+  std::unique_ptr<core::SurrogateModel> model;
+  double t0 = 0.0;
+
+  ServeWorld() {
+    params.dt = 10.0;
+    ocean::generate_estuary(grid, ocean::EstuaryParams{}, 42);
+    ocean::ArchiveConfig acfg;
+    acfg.spinup_seconds = 3600.0;
+    acfg.duration_seconds = 10 * 3600.0;
+    acfg.interval_seconds = 1800.0;
+    auto snaps = ocean::simulate_archive(grid, tides, params, acfg);
+    t0 = snaps.front().time;
+    fields = data::center_archive(grid, snaps);
+    for (const auto& f : fields) norm.accumulate(f);
+    norm.freeze();
+    fields_norm = fields;
+    for (auto& f : fields_norm) norm.normalize_fields(f);
+
+    spec = data::make_spec(20, 20, 6, /*T=*/3, /*multiple_hw=*/4,
+                           /*multiple_d=*/2);
+    Rng rng(7);
+    model = std::make_unique<core::SurrogateModel>(model_config(spec), rng);
+  }
+
+  static ServeWorld& instance() {
+    static ServeWorld w;
+    return w;
+  }
+
+  /// Request whose episode starts at archive frame `start`.
+  serve::ForecastRequest request(size_t start, int model_id = 0) const {
+    serve::ForecastRequest r;
+    r.model_id = model_id;
+    r.window.assign(fields_norm.begin() + static_cast<ptrdiff_t>(start),
+                    fields_norm.begin() + static_cast<ptrdiff_t>(start) + 4);
+    return r;
+  }
+
+  /// Serial one-request-at-a-time reference for the same episode.
+  std::vector<data::CenterFields> serial_episode(size_t start) {
+    tensor::NoGradGuard ng;
+    tensor::ArenaScope arena;
+    model->set_training(false);
+    std::span<const data::CenterFields> window(fields_norm.data() + start, 4);
+    return core::forecast_episode(*model, spec, norm, window, nullptr);
+  }
+};
+
+void expect_frames_bitwise(const std::vector<data::CenterFields>& a,
+                           const std::vector<data::CenterFields>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t t = 0; t < a.size(); ++t) {
+    ASSERT_EQ(a[t].u.size(), b[t].u.size());
+    for (size_t i = 0; i < a[t].u.size(); ++i) {
+      ASSERT_EQ(a[t].u[i], b[t].u[i]) << "u frame " << t << " idx " << i;
+      ASSERT_EQ(a[t].v[i], b[t].v[i]);
+      ASSERT_EQ(a[t].w[i], b[t].w[i]);
+    }
+    for (size_t i = 0; i < a[t].zeta.size(); ++i) {
+      ASSERT_EQ(a[t].zeta[i], b[t].zeta[i]) << "zeta frame " << t;
+    }
+  }
+}
+
+}  // namespace
+
+TEST(BatchStatScope, GroupedEvalMatchesPerSampleBitwise) {
+  // An eval-mode BatchNorm (batch stats) over two stacked samples with
+  // BatchStatScope(2) must reproduce each sample's standalone output
+  // bitwise — the property that makes micro-batching invisible.
+  Rng rng(3);
+  nn::BatchNorm bn(5, 1e-5f, 0.1f, /*use_batch_stats_in_eval=*/true);
+  bn.set_training(false);
+  tensor::NoGradGuard ng;
+  tensor::Tensor a = tensor::Tensor::randn({1, 5, 7}, rng);
+  tensor::Tensor b = tensor::Tensor::randn({1, 5, 7}, rng);
+  tensor::Tensor ya = bn.forward(a);
+  tensor::Tensor yb = bn.forward(b);
+  tensor::Tensor stacked = tensor::concat({a, b}, 0);
+
+  // Whole-batch stats mix the two samples: outputs differ.
+  tensor::Tensor mixed = bn.forward(stacked);
+  double max_mix = 0.0;
+  for (int64_t i = 0; i < ya.numel(); ++i) {
+    max_mix = std::max(max_mix,
+                       std::abs(static_cast<double>(mixed.raw()[i]) -
+                                ya.raw()[i]));
+  }
+  EXPECT_GT(max_mix, 1e-4) << "stacking should change whole-batch stats";
+
+  nn::BatchStatScope scope(2);
+  tensor::Tensor grouped = bn.forward(stacked);
+  for (int64_t i = 0; i < ya.numel(); ++i) {
+    ASSERT_EQ(grouped.raw()[i], ya.raw()[i]) << "entry 0 idx " << i;
+    ASSERT_EQ(grouped.raw()[ya.numel() + i], yb.raw()[i])
+        << "entry 1 idx " << i;
+  }
+}
+
+TEST(ForecastServer, BatchedMatchesSerialBitwise) {
+  auto& w = ServeWorld::instance();
+  constexpr size_t kRequests = 8;
+
+  std::vector<std::vector<data::CenterFields>> serial(kRequests);
+  for (size_t i = 0; i < kRequests; ++i) serial[i] = w.serial_episode(i);
+
+  serve::ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.batch.max_batch = 4;
+  cfg.batch.max_wait_us = 200000;  // generous window: batches form
+  cfg.threshold = 10.0;            // verification passes everything
+  serve::ForecastServer server({{w.model.get(), w.spec}}, w.norm, &w.grid,
+                               cfg);
+  std::vector<std::future<serve::ForecastResult>> futures;
+  for (size_t i = 0; i < kRequests; ++i) {
+    auto f = server.submit(w.request(i));
+    ASSERT_TRUE(f.has_value());
+    futures.push_back(std::move(*f));
+  }
+  int max_batch_seen = 0;
+  for (size_t i = 0; i < kRequests; ++i) {
+    serve::ForecastResult r = futures[i].get();
+    ASSERT_EQ(r.frames.size(), 3u);
+    EXPECT_TRUE(r.verified);
+    EXPECT_TRUE(r.verdict.pass);
+    max_batch_seen = std::max(max_batch_seen, r.batch_size);
+    expect_frames_bitwise(r.frames, serial[i]);
+  }
+  EXPECT_GT(max_batch_seen, 1) << "no micro-batch formed despite the window";
+
+  auto stats = server.stats();
+  EXPECT_EQ(stats.served, kRequests);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_GT(stats.batches, 0u);
+  EXPECT_GT(stats.p50_ms, 0.0);
+  EXPECT_GE(stats.p99_ms, stats.p50_ms);
+}
+
+TEST(ForecastServer, IdenticalEpisodesCoalesceIntoOneEntry) {
+  auto& w = ServeWorld::instance();
+  constexpr size_t kClients = 8, kDistinct = 2;
+
+  std::vector<std::vector<data::CenterFields>> serial(kDistinct);
+  for (size_t i = 0; i < kDistinct; ++i) serial[i] = w.serial_episode(i);
+
+  serve::ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.batch.max_batch = static_cast<int>(kClients);
+  cfg.batch.max_wait_us = 200000;
+  cfg.threshold = 10.0;
+  serve::ForecastServer server({{w.model.get(), w.spec}}, w.norm, &w.grid,
+                               cfg);
+  std::vector<std::future<serve::ForecastResult>> futures;
+  for (size_t i = 0; i < kClients; ++i) {
+    auto f = server.submit(w.request(i % kDistinct));  // 4 clients/episode
+    ASSERT_TRUE(f.has_value());
+    futures.push_back(std::move(*f));
+  }
+  int max_sharers = 0;
+  for (size_t i = 0; i < kClients; ++i) {
+    serve::ForecastResult r = futures[i].get();
+    // Fan-out results are the exact frames a standalone run produces.
+    expect_frames_bitwise(r.frames, serial[i % kDistinct]);
+    EXPECT_LE(r.batch_size, static_cast<int>(kDistinct))
+        << "distinct episodes per forward must not exceed the trace's";
+    max_sharers = std::max(max_sharers, r.sharers);
+  }
+  EXPECT_GT(max_sharers, 1) << "duplicates should share one batch entry";
+  EXPECT_GT(server.stats().coalesced, 0u);
+  EXPECT_EQ(server.stats().served, kClients);
+}
+
+TEST(ForecastServer, RejectPolicyBoundsTheQueue) {
+  auto& w = ServeWorld::instance();
+  serve::ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 2;
+  cfg.overflow = serve::ServerConfig::Overflow::kReject;
+  cfg.batch.max_batch = 1;
+  cfg.batch.max_wait_us = 0;
+  cfg.verify = false;
+  serve::ForecastServer server({{w.model.get(), w.spec}}, w.norm, nullptr,
+                               cfg);
+  // Flood far beyond capacity: some must be rejected, every accepted one
+  // must complete.
+  std::vector<std::future<serve::ForecastResult>> accepted;
+  size_t rejected = 0;
+  for (int i = 0; i < 24; ++i) {
+    auto f = server.submit(w.request(static_cast<size_t>(i % 4)));
+    if (f.has_value()) {
+      accepted.push_back(std::move(*f));
+    } else {
+      ++rejected;
+    }
+  }
+  for (auto& f : accepted) {
+    auto r = f.get();
+    EXPECT_EQ(r.frames.size(), 3u);
+    EXPECT_FALSE(r.verified);
+  }
+  auto stats = server.stats();
+  EXPECT_EQ(stats.rejected, rejected);
+  EXPECT_EQ(stats.served, accepted.size());
+  // A 1-deep service pipeline against a 24-burst: the bound must bite.
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST(ForecastServer, BlockPolicyServesEverything) {
+  auto& w = ServeWorld::instance();
+  serve::ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.queue_capacity = 2;  // tiny: submitters must block, not fail
+  cfg.overflow = serve::ServerConfig::Overflow::kBlock;
+  cfg.batch.max_batch = 2;
+  cfg.batch.max_wait_us = 1000;
+  cfg.verify = false;
+  serve::ForecastServer server({{w.model.get(), w.spec}}, w.norm, nullptr,
+                               cfg);
+  std::vector<std::future<serve::ForecastResult>> futures;
+  for (int i = 0; i < 12; ++i) {
+    auto f = server.submit(w.request(static_cast<size_t>(i % 4)));
+    ASSERT_TRUE(f.has_value());
+    futures.push_back(std::move(*f));
+  }
+  for (auto& f : futures) EXPECT_EQ(f.get().frames.size(), 3u);
+  EXPECT_EQ(server.stats().served, 12u);
+  EXPECT_EQ(server.stats().rejected, 0u);
+}
+
+TEST(ForecastServer, ShutdownDrainsAndRejectsLateSubmits) {
+  auto& w = ServeWorld::instance();
+  serve::ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.batch.max_batch = 4;
+  cfg.batch.max_wait_us = 0;
+  cfg.verify = false;
+  auto server = std::make_unique<serve::ForecastServer>(
+      std::vector<serve::ModelSlot>{{w.model.get(), w.spec}}, w.norm,
+      nullptr, cfg);
+  std::vector<std::future<serve::ForecastResult>> futures;
+  for (int i = 0; i < 6; ++i) {
+    auto f = server->submit(w.request(static_cast<size_t>(i % 4)));
+    ASSERT_TRUE(f.has_value());
+    futures.push_back(std::move(*f));
+  }
+  server->shutdown();  // must drain all six
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    EXPECT_EQ(f.get().frames.size(), 3u);
+  }
+  EXPECT_FALSE(server->submit(w.request(0)).has_value());
+  server.reset();  // double-shutdown via destructor: no hang, no throw
+}
+
+TEST(ForecastServer, StrictThresholdRoutesThroughRomsFallback) {
+  auto& w = ServeWorld::instance();
+  serve::ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.batch.max_batch = 2;
+  cfg.batch.max_wait_us = 50000;
+  cfg.threshold = 1e-9;  // impossible: every episode falls back
+  cfg.snapshot_dt = 1800.0;
+  cfg.fallback = serve::FallbackContext{w.tides, w.params};
+  serve::ForecastServer server({{w.model.get(), w.spec}}, w.norm, &w.grid,
+                               cfg);
+  auto f = server.submit(w.request(0));
+  ASSERT_TRUE(f.has_value());
+  serve::ForecastResult r = f->get();
+  EXPECT_TRUE(r.verified);
+  EXPECT_FALSE(r.verdict.pass);
+  EXPECT_TRUE(r.fallback);
+  ASSERT_EQ(r.frames.size(), 3u);
+  // The fallback frames are the numerical model's — they satisfy
+  // conservation at the usual bound even though the verdict failed.
+  core::MassVerifier verifier(w.grid, 5e-4);
+  std::vector<data::CenterFields> seq;
+  seq.push_back(w.fields[0]);
+  for (const auto& fr : r.frames) seq.push_back(fr);
+  EXPECT_LT(verifier.check_sequence(seq, 1800.0).mean_residual, 5e-4);
+  EXPECT_GT(server.stats().fallbacks, 0u);
+}
+
+TEST(ShardedForecast, OneRankMatchesRolloutBitwise) {
+  auto& w = ServeWorld::instance();
+  serve::ShardConfig cfg;
+  cfg.ranks = 1;
+  cfg.multiple_hw = 4;
+  cfg.multiple_d = 2;
+  cfg.verify = true;
+  cfg.threshold = 10.0;
+  cfg.snapshot_dt = 1800.0;
+  const auto specs = serve::sharded_tile_specs(w.spec, cfg);
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0], w.spec);
+
+  const int episodes = 2;
+  std::span<const data::CenterFields> truth(w.fields_norm.data(),
+                                            static_cast<size_t>(episodes * 3 + 1));
+  auto reference =
+      core::rollout(*w.model, w.spec, w.norm, truth, episodes);
+
+  core::SurrogateModel* models[] = {w.model.get()};
+  auto sharded = serve::run_sharded_forecast(models, w.spec, w.norm, &w.grid,
+                                             truth, episodes, cfg);
+  ASSERT_EQ(sharded.frames.size(), reference.size());
+  expect_frames_bitwise(sharded.frames, reference);
+  EXPECT_EQ(sharded.process_grid[0] * sharded.process_grid[1], 1);
+  EXPECT_EQ(sharded.halo_bytes, 0u);  // one tile: no ring to exchange
+  EXPECT_TRUE(sharded.verified);
+  EXPECT_TRUE(sharded.verdict.pass);
+}
+
+TEST(ShardedForecast, TwoRanksCoupleThroughHalosAndReduceOneVerdict) {
+  auto& w = ServeWorld::instance();
+  serve::ShardConfig cfg;
+  cfg.ranks = 2;
+  cfg.halo = 1;
+  cfg.multiple_hw = 20;  // tile W must stay patchable by 5 with 3 stages
+  cfg.multiple_d = 2;
+  cfg.verify = true;
+  cfg.threshold = 10.0;
+  cfg.snapshot_dt = 1800.0;
+  const auto specs = serve::sharded_tile_specs(w.spec, cfg);
+  ASSERT_EQ(specs.size(), 2u);
+
+  std::vector<std::unique_ptr<core::SurrogateModel>> tile_models;
+  std::vector<core::SurrogateModel*> ptrs;
+  for (size_t r = 0; r < specs.size(); ++r) {
+    Rng rng(100 + static_cast<uint64_t>(r));
+    tile_models.push_back(std::make_unique<core::SurrogateModel>(
+        model_config(specs[r]), rng));
+    ptrs.push_back(tile_models.back().get());
+  }
+
+  const int episodes = 2;
+  std::span<const data::CenterFields> truth(w.fields_norm.data(),
+                                            static_cast<size_t>(episodes * 3 + 1));
+  auto sharded = serve::run_sharded_forecast(ptrs, w.spec, w.norm, &w.grid,
+                                             truth, episodes, cfg);
+
+  EXPECT_EQ(sharded.process_grid[0] * sharded.process_grid[1], 2);
+  ASSERT_EQ(sharded.frames.size(), static_cast<size_t>(episodes * 3));
+  for (const auto& f : sharded.frames) {
+    for (float v : f.zeta) ASSERT_TRUE(std::isfinite(v));
+    for (float v : f.u) ASSERT_TRUE(std::isfinite(v));
+  }
+  // Ring traffic flowed: per frame, each rank sends one strip of
+  // (3*nz + 1) * ny floats to its single neighbour.
+  EXPECT_GT(sharded.halo_bytes, 0u);
+  EXPECT_GT(sharded.halo_messages, 0u);
+
+  // The allreduce-reduced verdict must agree with a serial verification
+  // of the stitched chain: same stencil, double accumulation end to end
+  // (Comm's double allreduce), so only cross-rank summation association
+  // differs.
+  ASSERT_TRUE(sharded.verified);
+  core::MassVerifier verifier(w.grid, cfg.threshold);
+  std::vector<data::CenterFields> chain;
+  chain.push_back(w.fields[0]);
+  for (const auto& f : sharded.frames) chain.push_back(f);
+  const auto serial = verifier.check_sequence(chain, cfg.snapshot_dt);
+  EXPECT_EQ(sharded.verdict.pass, serial.pass);
+  EXPECT_NEAR(sharded.verdict.mean_residual, serial.mean_residual,
+              std::max(1e-15, serial.mean_residual * 1e-7));
+  EXPECT_NEAR(sharded.verdict.max_residual, serial.max_residual,
+              std::max(1e-15, serial.max_residual * 1e-7));
+}
+
+TEST(ForecastServer, SteadyStateServingAllocatesNothing) {
+  if (!tensor::pool_enabled()) {
+    GTEST_SKIP() << "pool disabled (COASTAL_DISABLE_POOL): every tensor is "
+                    "a real allocation by design";
+  }
+  auto& w = ServeWorld::instance();
+  serve::ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.batch.max_batch = 4;
+  cfg.batch.max_wait_us = 100000;
+  cfg.threshold = 10.0;
+  serve::ForecastServer server({{w.model.get(), w.spec}}, w.norm, &w.grid,
+                               cfg);
+  auto round = [&] {
+    std::vector<std::future<serve::ForecastResult>> futures;
+    for (size_t i = 0; i < 4; ++i) {
+      auto f = server.submit(w.request(i));
+      ASSERT_TRUE(f.has_value());
+      futures.push_back(std::move(*f));
+    }
+    for (auto& f : futures) f.get();
+  };
+  // Warm the pool, the arenas, and the per-thread workspaces.
+  round();
+  round();
+  const uint64_t before = tensor::alloc_stats().total_allocs;
+  round();
+  round();
+  round();
+  const uint64_t after = tensor::alloc_stats().total_allocs;
+  EXPECT_EQ(after, before)
+      << "steady-state served episodes must not touch the heap";
+}
