@@ -22,6 +22,7 @@
 #include "tensor/half.hpp"
 #include "tensor/kernels.hpp"
 #include "tensor/tensor.hpp"
+#include "util/fault.hpp"
 
 using namespace coastal;
 using tensor::Tensor;
@@ -390,6 +391,56 @@ BENCHMARK(BM_ServeThroughput)
     ->Arg(208)
     ->Arg(408)
     ->UseRealTime();
+
+static void BM_ServeFaulty(benchmark::State& state) {
+  // BM_ServeThroughput/108 with chaos turned on: 5% of forwards throw and
+  // the retry layer absorbs them.  The number quantifies the cost of the
+  // reliability machinery under fire; it is reported but never gated
+  // (bench_diff --ignore) — the injected faults make the figure a
+  // schedule property, not a kernel one.  The delta between this and a
+  // no-fault 108 run is the price of a 5% transient-failure rate.
+  auto& w = ServeBenchWorld::instance();
+  util::FaultInjector::instance().install(
+      "serve.forward:throw@"
+      "0.05",
+      2026);
+  serve::ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.batch.max_batch = 8;
+  cfg.batch.max_wait_us = 20000;
+  cfg.queue_capacity = 64;
+  cfg.verify = false;
+  cfg.reliability.retry.max_attempts = 4;
+  cfg.reliability.retry.backoff_us = 100;
+  {
+    serve::ForecastServer server({{w.model.get(), w.spec}}, w.norm, nullptr,
+                                 cfg);
+    std::vector<std::future<serve::ForecastResult>> futures;
+    futures.reserve(ServeBenchWorld::kTrace);
+    for (auto _ : state) {
+      futures.clear();
+      for (int i = 0; i < ServeBenchWorld::kTrace; ++i) {
+        serve::ForecastRequest req;
+        const auto win = w.window(i);
+        req.window.assign(win.begin(), win.end());
+        auto f = server.submit(std::move(req));
+        if (f) futures.push_back(std::move(*f));
+      }
+      for (auto& f : futures) {
+        // A run of max_attempts consecutive fires fails the request
+        // (there is no fallback here); that is a valid serving outcome,
+        // not a bench failure.
+        try {
+          benchmark::DoNotOptimize(f.get());
+        } catch (const serve::ForecastError&) {
+        }
+      }
+    }
+  }
+  util::FaultInjector::instance().clear();
+  state.SetItemsProcessed(state.iterations() * ServeBenchWorld::kTrace);
+}
+BENCHMARK(BM_ServeFaulty)->UseRealTime();
 
 static void BM_SolverStep(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

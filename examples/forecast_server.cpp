@@ -9,10 +9,20 @@
 /// forecast window with jittered arrival times, with heavy duplication
 /// across clients.  Prints the ServerStats dashboard and a serial
 /// baseline comparison.
+///
+/// Chaos mode: pass `--faults <schedule>` (or set COASTAL_FAULTS) to
+/// inject deterministic faults into the serving path, e.g.
+///
+///   forecast_server --faults 'rollout.step:nan@1x4;serve.worker:hang@1x1'
+///
+/// which arms the retry/watchdog/breaker machinery and extends the
+/// dashboard with the reliability counters and per-site fault stats.
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <random>
+#include <string>
 #include <thread>
 
 #include "core/rollout.hpp"
@@ -22,13 +32,28 @@
 #include "ocean/bathymetry.hpp"
 #include "serve/server.hpp"
 #include "tensor/storage.hpp"
+#include "util/fault.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
 
 using namespace coastal;
 
-int main() {
+int main(int argc, char** argv) {
   util::set_log_level(util::LogLevel::kWarn);
+
+  std::string fault_schedule;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
+      fault_schedule = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--faults <schedule>]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (!fault_schedule.empty()) {
+    util::FaultInjector::instance().install(fault_schedule);
+    std::printf("fault schedule armed: %s\n", fault_schedule.c_str());
+  }
 
   // --- world + data --------------------------------------------------------
   ocean::Grid grid(20, 20, 6, 400.0, 400.0);
@@ -113,6 +138,16 @@ int main() {
   scfg.threshold = 8e-5;
   scfg.snapshot_dt = acfg.interval_seconds;
   scfg.fallback = serve::FallbackContext{tides, params};
+  if (!fault_schedule.empty()) {
+    // Chaos runs arm the full reliability stack: a second worker so a
+    // hang doesn't serialize everything, retries for transient throws,
+    // and the watchdog to retire parked workers.
+    scfg.workers = 2;
+    scfg.reliability.retry.max_attempts = 4;
+    scfg.reliability.retry.backoff_us = 500;
+    scfg.reliability.watchdog.hang_timeout_ms = 2000;
+    scfg.reliability.watchdog.poll_ms = 50;
+  }
   serve::ForecastServer server({{&model, dataset.spec}}, dataset.normalizer,
                                &grid, scfg);
 
@@ -134,7 +169,16 @@ int main() {
         auto f = server.submit(std::move(req));
         if (f) mine.push_back(std::move(*f));
       }
-      for (auto& f : mine) f.get();
+      for (auto& f : mine) {
+        try {
+          f.get();
+        } catch (const serve::ForecastError& e) {
+          // Typed serving failures (worker lost, deadline, ...) are an
+          // expected outcome of a chaos run; the dashboard counts them.
+          std::fprintf(stderr, "client %d: request failed: %s\n", c,
+                       e.what());
+        }
+      }
     });
   }
   for (auto& t : clients) t.join();
@@ -165,7 +209,31 @@ int main() {
                       stats.batch_hist[static_cast<size_t>(i)]));
     }
   }
-  std::printf("\n\nserial one-at-a-time: %.2f s   served: %.2f s   (%.2fx)\n",
+  std::printf("\n");
+  if (!fault_schedule.empty()) {
+    std::printf("\n-- reliability --\n");
+    std::printf("%-28s %10llu\n", "failed (typed errors)",
+                static_cast<unsigned long long>(stats.failed));
+    std::printf("%-28s %10llu\n", "retries",
+                static_cast<unsigned long long>(stats.retries));
+    std::printf("%-28s %10llu\n", "degraded (breaker open)",
+                static_cast<unsigned long long>(stats.degraded));
+    std::printf("%-28s %10llu\n", "worker lost",
+                static_cast<unsigned long long>(stats.worker_lost));
+    std::printf("%-28s %10llu\n", "worker restarts",
+                static_cast<unsigned long long>(stats.worker_restarts));
+    std::printf("%-28s %10llu\n", "breaker trips",
+                static_cast<unsigned long long>(stats.breaker_trips));
+    std::printf("fault sites (hits/fires):");
+    for (const auto& [site, st] : util::FaultInjector::instance().stats()) {
+      std::printf("  %s:%llu/%llu", site.c_str(),
+                  static_cast<unsigned long long>(st.hits),
+                  static_cast<unsigned long long>(st.fires));
+    }
+    std::printf("\n");
+    util::FaultInjector::instance().clear();
+  }
+  std::printf("\nserial one-at-a-time: %.2f s   served: %.2f s   (%.2fx)\n",
               serial_s, served_s, serial_s / served_s);
   std::printf("micro-batching + identical-request collapse turn the Fig. 1 "
               "workflow into a service: same bitwise results, a fraction of "

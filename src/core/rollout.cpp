@@ -1,23 +1,49 @@
 #include "core/rollout.hpp"
 
+#include <algorithm>
+#include <limits>
+
 #include "core/decode.hpp"
 #include "util/check.hpp"
+#include "util/fault.hpp"
 
 namespace coastal::core {
+
+namespace {
+void poison_fields(data::CenterFields& f) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  // Poison every element (not a sample) so wet cells are guaranteed hit
+  // regardless of the grid's land mask.
+  std::fill(f.u.begin(), f.u.end(), nan);
+  std::fill(f.v.begin(), f.v.end(), nan);
+  std::fill(f.w.begin(), f.w.end(), nan);
+  std::fill(f.zeta.begin(), f.zeta.end(), nan);
+}
+}  // namespace
 
 std::vector<data::CenterFields> forecast_episode(
     SurrogateModel& model, const data::SampleSpec& spec,
     const data::Normalizer& norm,
     std::span<const data::CenterFields> window,
-    const data::CenterFields* ic_normalized) {
+    const data::CenterFields* ic_normalized,
+    const CancelHook* cancel) {
   COASTAL_CHECK_MSG(window.size() == static_cast<size_t>(spec.T) + 1,
                     "forecast_episode needs T+1 = " << spec.T + 1
                                                     << " frames, got "
                                                     << window.size());
+  if (cancel && *cancel) (*cancel)();
+  // Capture the action before the forward: a `throw` aborts the episode
+  // here (the cheap point), a `nan` poisons the decoded output below —
+  // modeling a surrogate that silently produced garbage.
+  const util::FaultAction fa = COASTAL_FAULT_POINT("rollout.step");
   data::Sample sample = make_sample(spec, window);
   if (ic_normalized) overwrite_initial_condition(spec, sample, *ic_normalized);
   SurrogateOutput out = model.forward_sample(sample, false);
-  return decode_prediction(spec, out, norm);
+  auto frames = decode_prediction(spec, out, norm);
+  if (fa == util::FaultAction::kNan && !frames.empty()) {
+    poison_fields(frames.front());
+  }
+  return frames;
 }
 
 std::vector<data::CenterFields> rollout(

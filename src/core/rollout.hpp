@@ -12,6 +12,7 @@
 /// horizon, and each coarse frame seeds a fine episode that fills in the
 /// high-resolution snapshots.
 
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -19,6 +20,11 @@
 #include "data/normalization.hpp"
 
 namespace coastal::core {
+
+/// Cooperative cancellation: invoked at episode-step granularity (before
+/// the forward, the expensive part).  Implementations abort by throwing —
+/// the serving layer throws its deadline error here.
+using CancelHook = std::function<void()>;
 
 /// One surrogate episode — the building block rollout(), dual_rollout(),
 /// run_workflow(), and the serving layer all share: pack `window` (T+1
@@ -29,11 +35,15 @@ namespace coastal::core {
 /// contract: wrap in NoGradGuard + set_training(false) (and an ArenaScope
 /// if episode tensors should bump-allocate) exactly as the callers here
 /// do.
+/// Fault site `rollout.step` fires once per episode (throw aborts it, nan
+/// poisons the first decoded frame); `cancel`, when non-null, is invoked
+/// before the forward so callers can abort past-deadline work cheaply.
 std::vector<data::CenterFields> forecast_episode(
     SurrogateModel& model, const data::SampleSpec& spec,
     const data::Normalizer& norm,
     std::span<const data::CenterFields> window,
-    const data::CenterFields* ic_normalized);
+    const data::CenterFields* ic_normalized,
+    const CancelHook* cancel = nullptr);
 
 /// Chain `episodes` surrogate calls.  `truth_normalized` must hold
 /// episodes*T + 1 normalized frames; frame 0 is the initial condition and

@@ -31,19 +31,28 @@ EpisodeOutcome verify_or_fallback(std::vector<data::CenterFields>& frames,
     // current verified state.
     outcome.fallback = true;
     util::Timer roms_timer;
-    ocean::TidalModel fallback =
-        restart_from_fields(grid, tides, params, current, start_time);
-    frames.clear();
-    for (int step = 0; step < T; ++step) {
-      fallback.run_seconds(snapshot_dt);
-      auto snap =
-          ocean::reconstruct_3d(grid, fallback.time(), fallback.zeta(),
-                                fallback.ubar(), fallback.vbar());
-      frames.push_back(data::center_from_snapshot(grid, snap));
-    }
+    frames =
+        numerical_episode(grid, tides, params, current, start_time, snapshot_dt, T);
     outcome.roms_seconds = roms_timer.seconds();
   }
   return outcome;
+}
+
+std::vector<data::CenterFields> numerical_episode(
+    const ocean::Grid& grid, const ocean::TidalForcing& tides,
+    const ocean::PhysicsParams& params, const data::CenterFields& current,
+    double start_time, double snapshot_dt, int T) {
+  ocean::TidalModel model =
+      restart_from_fields(grid, tides, params, current, start_time);
+  std::vector<data::CenterFields> frames;
+  frames.reserve(static_cast<size_t>(T));
+  for (int step = 0; step < T; ++step) {
+    model.run_seconds(snapshot_dt);
+    auto snap = ocean::reconstruct_3d(grid, model.time(), model.zeta(),
+                                      model.ubar(), model.vbar());
+    frames.push_back(data::center_from_snapshot(grid, snap));
+  }
+  return frames;
 }
 
 ocean::TidalModel restart_from_fields(const ocean::Grid& grid,

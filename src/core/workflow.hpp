@@ -55,6 +55,16 @@ struct EpisodeOutcome {
 /// model restarted from `current` at `start_time` and replace `frames` in
 /// place.  The returned verdict always describes the *surrogate* episode
 /// (the fallback frames satisfy conservation by construction).
+/// Compute one episode (T frames at snapshot_dt) purely with the
+/// numerical model restarted from `current` at `start_time` — the
+/// fallback path of verify_or_fallback, exposed so degraded serving can
+/// skip the surrogate entirely.  Frames satisfy conservation by
+/// construction.
+std::vector<data::CenterFields> numerical_episode(
+    const ocean::Grid& grid, const ocean::TidalForcing& tides,
+    const ocean::PhysicsParams& params, const data::CenterFields& current,
+    double start_time, double snapshot_dt, int T);
+
 EpisodeOutcome verify_or_fallback(std::vector<data::CenterFields>& frames,
                                   const data::CenterFields& current,
                                   const MassVerifier& verifier,

@@ -1,9 +1,13 @@
 #include "parallel/communicator.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <exception>
 #include <limits>
 #include <thread>
+
+#include "util/fault.hpp"
 
 namespace coastal::par {
 
@@ -12,8 +16,22 @@ int Comm::size() const { return world_->size(); }
 void Comm::send(int dest, int tag, std::span<const float> data) {
   COASTAL_CHECK_MSG(dest >= 0 && dest < world_->size(),
                     "send: bad destination rank " << dest);
+  const util::FaultAction fa = COASTAL_FAULT_POINT("comm.send");
+  if (fa == util::FaultAction::kDrop) {
+    // Message lost in flight: accounting still sees the attempt so the
+    // cost model matches what the sender believed it did.
+    bytes_sent_ += data.size() * sizeof(float);
+    ++messages_sent_;
+    return;
+  }
   bytes_sent_ += data.size() * sizeof(float);
   ++messages_sent_;
+  if (fa == util::FaultAction::kNan) {
+    std::vector<float> poisoned(data.size(),
+                                std::numeric_limits<float>::quiet_NaN());
+    world_->push_message(dest, rank_, tag, poisoned);
+    return;
+  }
   world_->push_message(dest, rank_, tag, data);
 }
 
@@ -23,7 +41,14 @@ void Comm::recv(int source, int tag, std::span<float> out) {
   world_->pop_message(rank_, source, tag, out);
 }
 
-void Comm::barrier() { world_->barrier_.arrive_and_wait(); }
+bool Comm::recv_for(int source, int tag, std::span<float> out,
+                    int64_t timeout_us) {
+  COASTAL_CHECK_MSG(source >= 0 && source < world_->size(),
+                    "recv: bad source rank " << source);
+  return world_->pop_message_for(rank_, source, tag, out, timeout_us);
+}
+
+void Comm::barrier() { world_->barrier_wait(); }
 
 void Comm::allreduce_sum(std::span<float> data) {
   // Rank 0 resets the shared accumulator, everyone adds, everyone copies
@@ -147,7 +172,7 @@ void Comm::gather(int root, std::span<const float> local,
   barrier();
 }
 
-World::World(int size) : size_(size), barrier_(size) {
+World::World(int size) : size_(size) {
   COASTAL_CHECK_MSG(size >= 1, "World needs at least one rank");
   mailboxes_.reserve(static_cast<size_t>(size));
   for (int i = 0; i < size; ++i) {
@@ -156,23 +181,79 @@ World::World(int size) : size_(size), barrier_(size) {
 }
 
 void World::run(const std::function<void(Comm&)>& fn) {
+  // Fresh epoch: clear any abort left by a previous failed run so the
+  // World object is reusable (the failover path reruns on it).
+  {
+    std::lock_guard<std::mutex> lock(barrier_mutex_);
+    aborted_.store(false, std::memory_order_release);
+    barrier_count_ = 0;
+  }
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(size_));
   std::mutex err_mutex;
   std::exception_ptr first_error;
+  bool first_error_is_abort = false;
   for (int r = 0; r < size_; ++r) {
     threads.emplace_back([&, r] {
       Comm comm(this, r);
       try {
         fn(comm);
-      } catch (...) {
+      } catch (const CommAborted&) {
+        // Collateral unwinding of a sibling's failure: only report it if
+        // no root cause ever surfaces (e.g. an external abort()).
         std::lock_guard<std::mutex> lock(err_mutex);
-        if (!first_error) first_error = std::current_exception();
+        if (!first_error) {
+          first_error = std::current_exception();
+          first_error_is_abort = true;
+        }
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(err_mutex);
+          if (!first_error || first_error_is_abort) {
+            first_error = std::current_exception();
+            first_error_is_abort = false;
+          }
+        }
+        abort();
       }
     });
   }
   for (auto& t : threads) t.join();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void World::abort() {
+  {
+    std::lock_guard<std::mutex> lock(barrier_mutex_);
+    aborted_.store(true, std::memory_order_release);
+  }
+  barrier_cv_.notify_all();
+  // Lock each mailbox while notifying so a rank between its predicate
+  // check and its wait cannot miss the wakeup.
+  for (auto& box : mailboxes_) {
+    std::lock_guard<std::mutex> lock(box->mutex);
+    box->cv.notify_all();
+  }
+}
+
+bool World::aborted() const {
+  return aborted_.load(std::memory_order_acquire);
+}
+
+void World::barrier_wait() {
+  std::unique_lock<std::mutex> lock(barrier_mutex_);
+  if (aborted_) throw CommAborted();
+  const uint64_t gen = barrier_generation_;
+  if (++barrier_count_ == size_) {
+    barrier_count_ = 0;
+    ++barrier_generation_;
+    lock.unlock();
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lock,
+                   [&] { return barrier_generation_ != gen || aborted_; });
+  if (barrier_generation_ == gen) throw CommAborted();
 }
 
 void World::push_message(int dest, int source, int tag,
@@ -187,13 +268,28 @@ void World::push_message(int dest, int source, int tag,
 }
 
 void World::pop_message(int self, int source, int tag, std::span<float> out) {
+  const bool ok = pop_message_for(self, source, tag, out, 0);
+  COASTAL_CHECK_MSG(ok, "recv: untimed pop returned without a message");
+}
+
+bool World::pop_message_for(int self, int source, int tag,
+                            std::span<float> out, int64_t timeout_us) {
   Mailbox& box = *mailboxes_[static_cast<size_t>(self)];
   std::unique_lock<std::mutex> lock(box.mutex);
-  auto key = std::make_pair(source, tag);
-  box.cv.wait(lock, [&] {
+  const auto key = std::make_pair(source, tag);
+  const auto ready = [&] {
     auto it = box.slots.find(key);
     return it != box.slots.end() && !it->second.empty();
-  });
+  };
+  const auto wake = [&] { return ready() || aborted(); };
+  if (timeout_us <= 0) {
+    box.cv.wait(lock, wake);
+  } else {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(timeout_us);
+    if (!box.cv.wait_until(lock, deadline, wake)) return false;
+  }
+  if (!ready()) throw CommAborted();
   auto& q = box.slots[key];
   Message msg = std::move(q.front());
   q.pop();
@@ -201,6 +297,7 @@ void World::pop_message(int self, int source, int tag, std::span<float> out) {
                     "recv: message length " << msg.payload.size()
                                             << " != buffer " << out.size());
   std::copy(msg.payload.begin(), msg.payload.end(), out.begin());
+  return true;
 }
 
 }  // namespace coastal::par

@@ -11,13 +11,19 @@
 /// same communication structure (and its costs, measured in messages and
 /// bytes) is exercised without a real cluster.
 ///
+/// Failure semantics: a rank that throws aborts the world, which wakes
+/// every sibling blocked in a recv or collective with `CommAborted` —
+/// no rank is ever left deadlocked because a peer died.  `recv_for`
+/// additionally bounds a single receive with a timeout, the building
+/// block for the serving layer's exchange deadline.
+///
 /// Usage:
 ///   par::World world(4);
 ///   world.run([](par::Comm& comm) {
 ///     ...comm.rank(), comm.send(...), comm.allreduce_sum(...)...
 ///   });
 
-#include <barrier>
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -27,6 +33,7 @@
 #include <mutex>
 #include <queue>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "util/check.hpp"
@@ -34,6 +41,20 @@
 namespace coastal::par {
 
 class World;
+
+/// Base for communication failures (timeouts, aborted worlds).
+class CommError : public std::runtime_error {
+ public:
+  explicit CommError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised on ranks woken out of a blocking call because a sibling rank
+/// failed (World::abort).  Distinguished from the *originating* error so
+/// World::run can report the root cause, not the collateral unwinding.
+class CommAborted : public CommError {
+ public:
+  CommAborted() : CommError("communicator aborted: a sibling rank failed") {}
+};
 
 /// Per-rank handle passed to the user function.  All methods are callable
 /// only from the owning rank's thread.
@@ -44,10 +65,16 @@ class Comm {
 
   /// Blocking two-sided send/recv of a float buffer, matched by
   /// (source, tag) like MPI_Send/MPI_Recv with explicit tags.
+  /// Fault site `comm.send`: throw raises before delivery, drop
+  /// suppresses the message, nan poisons the payload, delay stalls it.
   void send(int dest, int tag, std::span<const float> data);
   /// Receives into `out`; the matched message must have exactly
   /// `out.size()` elements.
   void recv(int source, int tag, std::span<float> out);
+  /// recv with a timeout: returns false if no matching message arrived
+  /// within `timeout_us` (buffer untouched).  0 means wait forever.
+  bool recv_for(int source, int tag, std::span<float> out,
+                int64_t timeout_us);
 
   /// Collectives (all block until every rank participates).
   void barrier();
@@ -89,8 +116,15 @@ class World {
   int size() const { return size_; }
 
   /// Spawn one thread per rank, run `fn(comm)` on each, join all.
-  /// Rethrows the first exception raised on any rank.
+  /// If any rank throws, the world is aborted — every sibling blocked in
+  /// a recv or collective unwinds with CommAborted — and the originating
+  /// exception (never the collateral CommAborted) is rethrown.
   void run(const std::function<void(Comm&)>& fn);
+
+  /// Sticky until the next run(): wakes all blocked ranks with
+  /// CommAborted.  Called automatically when a rank throws.
+  void abort();
+  bool aborted() const;
 
  private:
   friend class Comm;
@@ -107,14 +141,24 @@ class World {
 
   void push_message(int dest, int source, int tag, std::span<const float> data);
   void pop_message(int self, int source, int tag, std::span<float> out);
+  bool pop_message_for(int self, int source, int tag, std::span<float> out,
+                       int64_t timeout_us);
+  void barrier_wait();
 
   int size_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 
+  // Abortable barrier: a plain generation-counted rendezvous instead of
+  // std::barrier so abort() can wake waiters mid-phase.
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  uint64_t barrier_generation_ = 0;
+  std::atomic<bool> aborted_{false};
+
   // Collective scratch: double-buffered reduction area guarded by a
   // barrier on each side.  Float and double collectives keep separate
   // buffers (a rank sequence may interleave them).
-  std::barrier<> barrier_;
   std::mutex reduce_mutex_;
   std::vector<float> reduce_buf_;
   size_t reduce_len_ = 0;

@@ -43,6 +43,12 @@ namespace coastal::serve {
 struct ForecastRequest {
   int model_id = 0;
   std::vector<data::CenterFields> window;
+  /// Per-request deadline, measured from submit().  0 = no deadline.
+  /// Expired requests fail with ForecastError::kDeadlineExceeded; the
+  /// deadline is checked at queue pop, between retry attempts, and at
+  /// fan-out (a computed result past its deadline is still an error —
+  /// the client stopped waiting).
+  int64_t timeout_us = 0;
 };
 
 /// What the client's future resolves to.
@@ -51,6 +57,10 @@ struct ForecastResult {
   core::VerificationResult verdict;        ///< meaningful when `verified`
   bool verified = false;   ///< physics check ran (server had a grid)
   bool fallback = false;   ///< frames recomputed by the numerical model
+  /// Served while the slot's circuit breaker was open: the surrogate was
+  /// bypassed entirely and `frames` are the numerical reference
+  /// (implies `fallback`).
+  bool degraded = false;
   int batch_size = 1;  ///< distinct episodes in the coalesced forward
   int sharers = 1;     ///< requests served by this request's batch entry
   double queue_seconds = 0.0;    ///< submit -> batch assembly
@@ -62,6 +72,9 @@ struct PendingRequest {
   ForecastRequest request;
   std::promise<ForecastResult> promise;
   std::chrono::steady_clock::time_point enqueued{};
+  /// Absolute deadline derived from ForecastRequest::timeout_us at
+  /// submit(); time_point{} (epoch) means no deadline.
+  std::chrono::steady_clock::time_point deadline{};
 };
 
 /// Micro-batch coalescing knobs.

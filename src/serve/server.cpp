@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
+#include <unordered_map>
 
 #include "core/decode.hpp"
 #include "core/rollout.hpp"
@@ -12,6 +14,7 @@
 #include "tensor/storage.hpp"
 #include "tensor/tensor.hpp"
 #include "util/check.hpp"
+#include "util/fault.hpp"
 
 namespace coastal::serve {
 
@@ -71,6 +74,74 @@ double percentile_ms(const std::array<uint64_t, 64>& hist, uint64_t total,
   return bucket_ms(63);
 }
 
+bool fields_finite(const data::CenterFields& f) {
+  auto ok = [](const std::vector<float>& v) {
+    for (float x : v) {
+      if (!std::isfinite(x)) return false;
+    }
+    return true;
+  };
+  return ok(f.u) && ok(f.v) && ok(f.w) && ok(f.zeta);
+}
+
+bool has_deadline(const PendingRequest& p) {
+  return p.deadline != clock::time_point{};
+}
+
+std::exception_ptr typed_error(ForecastErrorCode code,
+                               const std::string& detail) {
+  return std::make_exception_ptr(ForecastError(code, detail));
+}
+
+std::string describe(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const std::exception& ex) {
+    return ex.what();
+  } catch (...) {
+    return "unknown error";
+  }
+}
+
+/// Errors delivered to clients are always ForecastError; anything else is
+/// wrapped as kModelFailure with the cause preserved in the message.
+std::exception_ptr as_model_failure(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const ForecastError&) {
+    return e;
+  } catch (...) {
+  }
+  return typed_error(ForecastErrorCode::kModelFailure, describe(e));
+}
+
+/// A forward failure worth retrying?  Contract violations (CheckError,
+/// ForecastError) never are; injected faults and unknown runtime errors
+/// are treated as transient.
+bool is_transient(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const util::CheckError&) {
+    return false;
+  } catch (const ForecastError&) {
+    return false;
+  } catch (...) {
+    return true;
+  }
+}
+
+/// NaN-poison the first frame of a decoded episode (the `rollout.step`
+/// nan action) — every element, so wet cells are hit regardless of mask.
+void poison_first_frame(std::vector<data::CenterFields>& frames) {
+  if (frames.empty()) return;
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  auto& f = frames.front();
+  std::fill(f.u.begin(), f.u.end(), nan);
+  std::fill(f.v.begin(), f.v.end(), nan);
+  std::fill(f.w.begin(), f.w.end(), nan);
+  std::fill(f.zeta.begin(), f.zeta.end(), nan);
+}
+
 }  // namespace
 
 ForecastServer::ForecastServer(std::vector<ModelSlot> models,
@@ -93,7 +164,9 @@ ForecastServer::ForecastServer(std::vector<ModelSlot> models,
   COASTAL_CHECK_MSG(!config_.fallback || (grid_ && config_.verify),
                     "the ROMS fallback requires a grid and verify=true");
   for (size_t i = 0; i < models_.size(); ++i) {
-    model_mutexes_.push_back(std::make_unique<std::mutex>());
+    model_mutexes_.push_back(std::make_unique<std::timed_mutex>());
+    breakers_.push_back(
+        std::make_unique<CircuitBreaker>(config_.reliability.breaker));
   }
   if (config_.kernel_threads > 0) {
     // Deployment-time kernel sizing: the pool and the kernel chunking
@@ -104,13 +177,25 @@ ForecastServer::ForecastServer(std::vector<ModelSlot> models,
     tensor::kernels::config().num_threads = config_.kernel_threads;
   }
   const int nworkers = std::max(1, config_.workers);
-  workers_.reserve(static_cast<size_t>(nworkers));
-  for (int i = 0; i < nworkers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+  {
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    restarts_left_ = config_.reliability.watchdog.max_restarts;
+    workers_.reserve(static_cast<size_t>(nworkers));
+    for (int i = 0; i < nworkers; ++i) spawn_worker_locked();
+  }
+  if (config_.reliability.watchdog.hang_timeout_ms > 0) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
   }
 }
 
 ForecastServer::~ForecastServer() { shutdown(); }
+
+ForecastServer::WorkerState* ForecastServer::spawn_worker_locked() {
+  workers_.push_back(std::make_unique<WorkerState>());
+  WorkerState* state = workers_.back().get();
+  state->thread = std::thread([this, state] { worker_loop(state); });
+  return state;
+}
 
 void ForecastServer::shutdown() {
   {
@@ -119,7 +204,34 @@ void ForecastServer::shutdown() {
     shut_down_ = true;
   }
   queue_.close();
-  for (auto& w : workers_) w.join();
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mutex_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+  // Workers parked by an injected hang only exit once released, so keep
+  // releasing until every worker_loop returns — a chaos run (or a test
+  // that forgot to clear its schedule) always terminates.
+  for (;;) {
+    bool all_exited = true;
+    {
+      std::lock_guard<std::mutex> lock(workers_mutex_);
+      for (const auto& w : workers_) {
+        if (!w->exited.load(std::memory_order_acquire)) {
+          all_exited = false;
+          break;
+        }
+      }
+    }
+    if (all_exited) break;
+    util::FaultInjector::instance().release_hangs();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::lock_guard<std::mutex> lock(workers_mutex_);
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
 }
 
 std::optional<std::future<ForecastResult>> ForecastServer::submit(
@@ -139,10 +251,33 @@ std::optional<std::future<ForecastResult>> ForecastServer::submit(
                                              << f.nz
                                              << ") do not match the spec");
   }
+  if (config_.reliability.screen_inputs) {
+    // Admission-time screening: a NaN/Inf initial condition can only burn
+    // a forward and fail verification later, so refuse it with a typed
+    // error now.  Shape violations above stay hard CHECK failures — they
+    // are caller bugs, not data quality.
+    for (size_t t = 0; t < request.window.size(); ++t) {
+      if (!fields_finite(request.window[t])) {
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++invalid_;
+        }
+        std::promise<ForecastResult> p;
+        p.set_exception(typed_error(
+            ForecastErrorCode::kInvalidInput,
+            "non-finite values in window frame " + std::to_string(t)));
+        return p.get_future();
+      }
+    }
+  }
 
   PendingRequest pending;
-  pending.request = std::move(request);
   pending.enqueued = clock::now();
+  if (request.timeout_us > 0) {
+    pending.deadline =
+        pending.enqueued + std::chrono::microseconds(request.timeout_us);
+  }
+  pending.request = std::move(request);
   auto future = pending.promise.get_future();
   // Count the submission *before* the (potentially blocking) push: a fast
   // worker can pop and serve the request while this thread is still here,
@@ -162,26 +297,91 @@ std::optional<std::future<ForecastResult>> ForecastServer::submit(
   return future;
 }
 
-void ForecastServer::worker_loop() {
+void ForecastServer::worker_loop(WorkerState* state) {
   for (;;) {
-    std::vector<PendingRequest> batch = queue_.pop_batch(config_.batch);
-    if (batch.empty()) return;  // closed and drained
-    serve_batch(batch);
+    if (state->retired.load(std::memory_order_acquire)) break;
+    std::vector<PendingRequest> popped = queue_.pop_batch(config_.batch);
+    if (popped.empty()) break;  // closed and drained
+    auto inflight = std::make_shared<InFlightBatch>();
+    inflight->reqs = std::move(popped);
+    inflight->resolved.assign(inflight->reqs.size(), 0);
+    {
+      std::lock_guard<std::mutex> lock(state->m);
+      state->inflight = inflight;
+    }
+    state->busy.store(true, std::memory_order_release);
+    state->beat.fetch_add(1, std::memory_order_relaxed);
+    try {
+      serve_batch(state, inflight);
+    } catch (...) {
+      // A worker never dies with unresolved promises: anything that
+      // escaped serve_batch fails the whole batch (typed).
+      const std::exception_ptr e = as_model_failure(std::current_exception());
+      for (size_t i = 0; i < inflight->reqs.size(); ++i) {
+        deliver_error(*inflight, i, e);
+      }
+    }
+    {
+      // Defensive sweep: no request of a batch this worker still owns may
+      // be left pending (clients would wait forever).
+      std::lock_guard<std::mutex> lock(inflight->m);
+      if (!inflight->abandoned) {
+        for (size_t i = 0; i < inflight->reqs.size(); ++i) {
+          if (!inflight->resolved[i]) {
+            inflight->resolved[i] = 1;
+            inflight->reqs[i].promise.set_exception(
+                typed_error(ForecastErrorCode::kModelFailure,
+                            "request left unresolved by serve_batch"));
+          }
+        }
+      }
+    }
+    state->busy.store(false, std::memory_order_release);
+    state->beat.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(state->m);
+      state->inflight.reset();
+    }
   }
+  state->exited.store(true, std::memory_order_release);
 }
 
-void ForecastServer::serve_batch(std::vector<PendingRequest>& batch) {
+void ForecastServer::serve_batch(
+    WorkerState* state, const std::shared_ptr<InFlightBatch>& inflight) {
+  auto& batch = inflight->reqs;
+  // The canonical hung-worker injection point: before any lock is held,
+  // so a parked worker wedges only itself (and its batch).
+  COASTAL_FAULT_POINT("serve.worker");
+  if (state->retired.load(std::memory_order_acquire)) return;
+
   const auto t_assembled = clock::now();
   const int model_id = batch.front().request.model_id;
   auto& slot = models_[static_cast<size_t>(model_id)];
   const data::SampleSpec& spec = slot.spec;
+  CircuitBreaker& breaker = *breakers_[static_cast<size_t>(model_id)];
+  const bool can_degrade = config_.fallback.has_value();
 
-  // Identical-episode coalescing: uniques[u] is the exemplar request of
-  // batch entry u; owner[i] maps each request to its entry.
+  // Deadline triage: requests already expired at batch assembly fail now,
+  // before any work is spent on them.
+  std::vector<char> dead(batch.size(), 0);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (has_deadline(batch[i]) && t_assembled >= batch[i].deadline) {
+      dead[i] = 1;
+      deliver_error(*inflight, i,
+                    typed_error(ForecastErrorCode::kDeadlineExceeded,
+                                "expired before service began"),
+                    &deadline_expired_);
+    }
+  }
+
+  // Identical-episode coalescing over the surviving requests: uniques[u]
+  // is the exemplar request of batch entry u; owner[i] maps each request
+  // to its entry.
   std::vector<size_t> uniques;
-  std::vector<size_t> owner(batch.size());
+  std::vector<size_t> owner(batch.size(), SIZE_MAX);
   uniques.reserve(batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
+    if (dead[i]) continue;
     size_t u = uniques.size();
     if (config_.batch.coalesce_identical) {
       for (size_t j = 0; j < uniques.size(); ++j) {
@@ -195,12 +395,39 @@ void ForecastServer::serve_batch(std::vector<PendingRequest>& batch) {
     if (u == uniques.size()) uniques.push_back(i);
     owner[i] = u;
   }
+  if (uniques.empty()) return;
   const int64_t B = static_cast<int64_t>(uniques.size());
   std::vector<int> sharers(uniques.size(), 0);
-  for (size_t o : owner) ++sharers[o];
+  size_t alive = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (dead[i]) continue;
+    ++sharers[owner[i]];
+    ++alive;
+  }
 
+  // Circuit-breaker admission: an open slot serves the verified numerical
+  // answer directly (degraded mode); half-open lets one probe batch try
+  // the surrogate again.
+  const CircuitBreaker::Mode mode = breaker.admit();
+  const bool probe = mode == CircuitBreaker::Mode::kProbe;
+  bool breaker_degraded = mode == CircuitBreaker::Mode::kDegraded;
+  if (breaker_degraded && !can_degrade) {
+    const auto e = typed_error(ForecastErrorCode::kCircuitOpen,
+                               "slot degraded and no fallback configured");
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (!dead[i]) deliver_error(*inflight, i, e);
+    }
+    return;
+  }
+
+  // The coalesced surrogate forward, with bounded deterministic retry for
+  // transient failures.  Skipped entirely in degraded mode.
   std::vector<std::vector<data::CenterFields>> decoded(uniques.size());
-  try {
+  std::vector<std::exception_ptr> entry_error(uniques.size());
+  bool forward_ok = false;
+  bool deadline_abort = false;
+  std::exception_ptr forward_error;
+  if (!breaker_degraded) {
     // Everything tensor-shaped in this block — the per-request samples,
     // the stacked batch, the forward activations, the batched output —
     // bump-allocates from the arena and is released in bulk at scope
@@ -208,73 +435,209 @@ void ForecastServer::serve_batch(std::vector<PendingRequest>& batch) {
     // decoded CenterFields (plain vectors) escape.
     tensor::ArenaScope arena;
     tensor::NoGradGuard ng;
-
-    // Pack the batch *before* taking the model mutex: sample construction
-    // and stacking touch only request data and this worker's arena, so
-    // another worker's forward overlaps them (the pipeline overlap
-    // promised in server.hpp).
-    tensor::Tensor vol, surf;
-    {
-      // Coalesce: stack the distinct episodes along the batch dimension.
-      std::vector<tensor::Tensor> vols, surfs;
-      vols.reserve(uniques.size());
-      surfs.reserve(uniques.size());
-      for (size_t u : uniques) {
-        data::Sample sample = data::make_sample(spec, batch[u].request.window);
-        tensor::Shape vs = sample.volume.shape();
-        tensor::Shape ss = sample.surface.shape();
-        tensor::Shape bvs{1}, bss{1};
-        bvs.insert(bvs.end(), vs.begin(), vs.end());
-        bss.insert(bss.end(), ss.begin(), ss.end());
-        vols.push_back(sample.volume.reshape(bvs));
-        surfs.push_back(sample.surface.reshape(bss));
+    try {
+      // Pack the batch *before* taking the model mutex: sample
+      // construction and stacking touch only request data and this
+      // worker's arena, so another worker's forward overlaps them (the
+      // pipeline overlap promised in server.hpp).
+      tensor::Tensor vol, surf;
+      {
+        // Coalesce: stack the distinct episodes along the batch dimension.
+        std::vector<tensor::Tensor> vols, surfs;
+        vols.reserve(uniques.size());
+        surfs.reserve(uniques.size());
+        for (size_t u : uniques) {
+          data::Sample sample =
+              data::make_sample(spec, batch[u].request.window);
+          tensor::Shape vs = sample.volume.shape();
+          tensor::Shape ss = sample.surface.shape();
+          tensor::Shape bvs{1}, bss{1};
+          bvs.insert(bvs.end(), vs.begin(), vs.end());
+          bss.insert(bss.end(), ss.begin(), ss.end());
+          vols.push_back(sample.volume.reshape(bvs));
+          surfs.push_back(sample.surface.reshape(bss));
+        }
+        vol = B == 1 ? std::move(vols[0]) : tensor::concat(vols, 0);
+        surf = B == 1 ? std::move(surfs[0]) : tensor::concat(surfs, 0);
       }
-      vol = B == 1 ? std::move(vols[0]) : tensor::concat(vols, 0);
-      surf = B == 1 ? std::move(surfs[0]) : tensor::concat(surfs, 0);
+      state->beat.fetch_add(1, std::memory_order_relaxed);
+
+      const RetryPolicy& retry = config_.reliability.retry;
+      const int max_attempts = std::max(1, retry.max_attempts);
+      int64_t backoff_us = std::max<int64_t>(0, retry.backoff_us);
+      core::SurrogateOutput out;
+      for (int attempt = 1; !forward_ok; ++attempt) {
+        try {
+          // One batch in flight per model (see file comment in
+          // server.hpp).  With the watchdog on, bound the wait so a
+          // replacement worker cannot wedge forever behind a hung
+          // predecessor still holding the slot.
+          std::unique_lock<std::timed_mutex> model_lock(
+              *model_mutexes_[static_cast<size_t>(model_id)],
+              std::defer_lock);
+          const int64_t hang_ms =
+              config_.reliability.watchdog.hang_timeout_ms;
+          if (hang_ms > 0) {
+            if (!model_lock.try_lock_for(std::chrono::milliseconds(
+                    std::max<int64_t>(1, hang_ms / 2)))) {
+              throw ForecastError(ForecastErrorCode::kModelFailure,
+                                  "model slot lock timed out");
+            }
+          } else {
+            model_lock.lock();
+          }
+          COASTAL_FAULT_POINT("serve.forward");
+          if (state->retired.load(std::memory_order_acquire)) return;
+          // Grouped BatchNorm statistics (and per-request attention
+          // routing): each coalesced episode is normalized exactly as it
+          // would be served alone, which is what makes the demuxed
+          // results bitwise-serial (see nn::BatchStatScope).
+          nn::BatchStatScope stat_groups(B);
+          out = slot.model->forward(vol, surf);
+          forward_ok = true;
+        } catch (...) {
+          const std::exception_ptr e = std::current_exception();
+          if (!is_transient(e) || attempt >= max_attempts) {
+            forward_error = e;
+            break;
+          }
+          // Abort the retry chain once every remaining request's
+          // deadline has passed — nobody is left to receive the result.
+          bool all_expired = true;
+          const auto now = clock::now();
+          for (size_t i = 0; i < batch.size(); ++i) {
+            if (dead[i]) continue;
+            if (!has_deadline(batch[i]) || now < batch[i].deadline) {
+              all_expired = false;
+              break;
+            }
+          }
+          if (all_expired) {
+            deadline_abort = true;
+            break;
+          }
+          {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++retries_;
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+          backoff_us = static_cast<int64_t>(
+              static_cast<double>(backoff_us) * retry.backoff_mult);
+          state->beat.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      if (forward_ok) {
+        state->beat.fetch_add(1, std::memory_order_relaxed);
+        // Per-entry decode: one entry's failure (or injected fault) must
+        // not fail sharers of healthy entries — the blast radius stays
+        // one episode.
+        for (size_t u = 0; u < uniques.size(); ++u) {
+          try {
+            const util::FaultAction fa = COASTAL_FAULT_POINT("rollout.step");
+            decoded[u] = core::decode_prediction_entry(
+                spec, out, static_cast<int64_t>(u), norm_);
+            if (fa == util::FaultAction::kNan) poison_first_frame(decoded[u]);
+          } catch (...) {
+            entry_error[u] = std::current_exception();
+          }
+        }
+      }
+    } catch (...) {
+      // Pack/stack failure: no forward ran; handled like a forward
+      // failure below.
+      forward_error = std::current_exception();
     }
-    core::SurrogateOutput out;
-    {
-      // One batch in flight per model (see file comment in server.hpp).
-      std::lock_guard<std::mutex> model_lock(
-          *model_mutexes_[static_cast<size_t>(model_id)]);
-      // Grouped BatchNorm statistics (and per-request attention routing):
-      // each coalesced episode is normalized exactly as it would be
-      // served alone, which is what makes the demuxed results
-      // bitwise-serial (see nn::BatchStatScope).
-      nn::BatchStatScope stat_groups(B);
-      out = slot.model->forward(vol, surf);
+  }
+
+  if (deadline_abort) {
+    const auto e = typed_error(ForecastErrorCode::kDeadlineExceeded,
+                               "expired during forward retries");
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (!dead[i]) deliver_error(*inflight, i, e, &deadline_expired_);
     }
-    for (size_t u = 0; u < uniques.size(); ++u) {
-      decoded[u] = core::decode_prediction_entry(
-          spec, out, static_cast<int64_t>(u), norm_);
-    }
-  } catch (...) {
-    for (auto& p : batch) p.promise.set_exception(std::current_exception());
     return;
+  }
+
+  // Forward failed after retries: report to the breaker, then route the
+  // whole batch to the numerical fallback when one is configured, else
+  // fail every surviving request (typed).
+  bool salvage_numerical = false;
+  if (!breaker_degraded && !forward_ok) {
+    if (probe) {
+      breaker.probe_result(false);
+    } else {
+      breaker.record_failures(static_cast<int>(uniques.size()));
+    }
+    if (can_degrade) {
+      salvage_numerical = true;
+    } else {
+      const auto e = as_model_failure(forward_error);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        if (!dead[i]) deliver_error(*inflight, i, e);
+      }
+      return;
+    }
   }
 
   // Batch-composition stats land before any promise resolves, so a
   // client that observes its result also observes the batch that carried
-  // it.
-  {
+  // it.  Only counted when a forward actually executed.
+  if (forward_ok) {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++batches_;
-    coalesced_ += batch.size() - uniques.size();
+    coalesced_ += alive - uniques.size();
     const int bucket = std::min<int>(
         static_cast<int>(B), ServerStatsSnapshot::kBatchHistBuckets);
     ++batch_hist_[static_cast<size_t>(bucket - 1)];
   }
 
-  // Per-entry epilogue: verification and fallback once per distinct
-  // episode, then fan the outcome out to every sharer.  Outside the arena
-  // and the model lock, so other workers' forwards overlap it.
+  // Per-entry epilogue: verification, fallback, or the numerical route,
+  // once per distinct episode; then fan the outcome out to every sharer.
+  // Outside the arena and the model lock, so other workers' forwards
+  // overlap it.
+  int probe_failures = 0;
   for (size_t u = 0; u < uniques.size(); ++u) {
+    state->beat.fetch_add(1, std::memory_order_relaxed);
+    const auto& window = batch[uniques[u]].request.window;
     bool entry_fallback = false, entry_verified = false;
+    bool entry_degraded = false;
     core::VerificationResult entry_verdict;
+    const bool numerical_route =
+        breaker_degraded || salvage_numerical || entry_error[u] != nullptr;
+    if (numerical_route && !can_degrade) {
+      // Per-entry decode failure with no fallback: isolate it.
+      const auto e = as_model_failure(entry_error[u]);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        if (!dead[i] && owner[i] == u) deliver_error(*inflight, i, e);
+      }
+      if (probe) ++probe_failures;
+      else if (forward_ok) breaker.record(false);
+      continue;
+    }
     try {
-      if (verifier_) {
+      if (numerical_route) {
+        // Degraded / salvage: compute the episode with the numerical
+        // model — verified by construction, and check_sequence confirms.
+        const data::CenterFields current =
+            data::denormalized_copy(window.front(), norm_);
+        decoded[u] = core::numerical_episode(
+            *grid_, config_.fallback->tides, config_.fallback->params,
+            current, current.time, config_.snapshot_dt, spec.T);
+        std::vector<data::CenterFields> seq;
+        seq.reserve(decoded[u].size() + 1);
+        seq.push_back(current);
+        for (auto& f : decoded[u]) seq.push_back(f);
+        entry_verdict = verifier_->check_sequence(seq, config_.snapshot_dt);
+        entry_verified = true;
+        entry_fallback = true;
+        entry_degraded = breaker_degraded;
+        if (entry_error[u]) {
+          if (probe) ++probe_failures;
+          else if (forward_ok) breaker.record(false);
+        }
+      } else if (verifier_) {
         const data::CenterFields current = data::denormalized_copy(
-            batch[uniques[u]].request.window.front(), norm_);
+            window.front(), norm_);
         if (config_.fallback) {
           // current.time is the request's own episode start (copied from
           // the IC frame), anchoring the restart's tidal phase.
@@ -293,39 +656,176 @@ void ForecastServer::serve_batch(std::vector<PendingRequest>& batch) {
         }
         entry_verified = true;
       }
-    } catch (...) {
-      for (size_t i = 0; i < batch.size(); ++i) {
-        if (owner[i] == u) {
-          batch[i].promise.set_exception(std::current_exception());
+      if (!numerical_route) {
+        if (probe) {
+          if (entry_fallback) ++probe_failures;
+        } else if (forward_ok) {
+          // A verification fallback counts as a slot failure: a surrogate
+          // producing chronic garbage should trip into degraded mode
+          // rather than burn a forward per request.
+          breaker.record(!entry_fallback);
         }
+      }
+    } catch (...) {
+      const auto e = std::current_exception();
+      for (size_t i = 0; i < batch.size(); ++i) {
+        if (!dead[i] && owner[i] == u) deliver_error(*inflight, i, e);
       }
       continue;
     }
     int remaining = sharers[u];
     for (size_t i = 0; i < batch.size(); ++i) {
-      if (owner[i] != u) continue;
+      if (dead[i] || owner[i] != u) continue;
+      const auto t_done = clock::now();
+      const bool last = --remaining == 0;
+      if (has_deadline(batch[i]) && t_done >= batch[i].deadline) {
+        // The result exists but the client stopped waiting: a deadline is
+        // a promise about *delivery*, not computation.
+        deliver_error(*inflight, i,
+                      typed_error(ForecastErrorCode::kDeadlineExceeded,
+                                  "expired before delivery"),
+                      &deadline_expired_);
+        continue;
+      }
+      std::promise<ForecastResult>* p = claim(*inflight, i);
+      if (p == nullptr) continue;
       ForecastResult result;
       // The last sharer takes the frames by move; earlier ones copy.
-      result.frames = (--remaining == 0) ? std::move(decoded[u]) : decoded[u];
+      result.frames = last ? std::move(decoded[u]) : decoded[u];
       result.batch_size = static_cast<int>(B);
       result.sharers = sharers[u];
       result.verdict = entry_verdict;
       result.verified = entry_verified;
       result.fallback = entry_fallback;
-      const auto t_done = clock::now();
+      result.degraded = entry_degraded;
       result.queue_seconds = seconds_between(batch[i].enqueued, t_assembled);
       result.service_seconds = seconds_between(t_assembled, t_done);
       record_latency(seconds_between(batch[i].enqueued, t_done));
       {
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++served_;
-        if (result.fallback) ++fallbacks_;
+        if (entry_fallback) ++fallbacks_;
+        if (entry_degraded) ++degraded_;
         if (first_serve_ == clock::time_point{}) first_serve_ = t_assembled;
         last_serve_ = t_done;
       }
-      batch[i].promise.set_value(std::move(result));
+      p->set_value(std::move(result));
     }
   }
+  if (probe && forward_ok) breaker.probe_result(probe_failures == 0);
+}
+
+void ForecastServer::watchdog_loop() {
+  struct Seen {
+    uint64_t beat = 0;
+    clock::time_point since{};
+  };
+  std::unordered_map<WorkerState*, Seen> seen;
+  const auto timeout =
+      std::chrono::milliseconds(config_.reliability.watchdog.hang_timeout_ms);
+  const auto poll = std::chrono::milliseconds(
+      std::max<int64_t>(1, config_.reliability.watchdog.poll_ms));
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(watchdog_mutex_);
+      watchdog_cv_.wait_for(lock, poll, [this] { return watchdog_stop_; });
+      if (watchdog_stop_) return;
+    }
+    std::vector<WorkerState*> active;
+    {
+      std::lock_guard<std::mutex> lock(workers_mutex_);
+      for (const auto& w : workers_) {
+        if (!w->retired.load(std::memory_order_acquire) &&
+            !w->exited.load(std::memory_order_acquire)) {
+          active.push_back(w.get());
+        }
+      }
+    }
+    const auto now = clock::now();
+    for (WorkerState* w : active) {
+      if (!w->busy.load(std::memory_order_acquire)) {
+        seen.erase(w);
+        continue;
+      }
+      const uint64_t beat = w->beat.load(std::memory_order_acquire);
+      auto it = seen.find(w);
+      if (it == seen.end() || it->second.beat != beat) {
+        seen[w] = {beat, now};
+        continue;
+      }
+      if (now - it->second.since < timeout) continue;
+      // Hung: retire the worker, fail its unresolved in-flight promises,
+      // and spawn a replacement (modeled on ThreadPool::resize's
+      // generation swap — the queue and its pending work carry over; only
+      // the wedged thread is written off).
+      w->retired.store(true, std::memory_order_release);
+      std::shared_ptr<InFlightBatch> inflight;
+      {
+        std::lock_guard<std::mutex> lock(w->m);
+        inflight = w->inflight;
+      }
+      // Take over the unresolved promises first (abandoning the batch so
+      // the hung worker, should it ever resume, cannot double-resolve),
+      // then restart and count, and only then fail them: a client that
+      // observes kWorkerLost also observes the restart and the stats.
+      std::vector<std::promise<ForecastResult>*> orphans;
+      if (inflight) {
+        std::lock_guard<std::mutex> lock(inflight->m);
+        inflight->abandoned = true;
+        for (size_t i = 0; i < inflight->reqs.size(); ++i) {
+          if (inflight->resolved[i]) continue;
+          inflight->resolved[i] = 1;
+          orphans.push_back(&inflight->reqs[i].promise);
+        }
+      }
+      bool restarted = false;
+      {
+        std::lock_guard<std::mutex> lock(workers_mutex_);
+        if (restarts_left_ > 0) {
+          --restarts_left_;
+          spawn_worker_locked();
+          restarted = true;
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        worker_lost_ += orphans.size();
+        failed_ += orphans.size();
+        if (restarted) ++worker_restarts_;
+      }
+      for (auto* p : orphans) {
+        p->set_exception(typed_error(
+            ForecastErrorCode::kWorkerLost,
+            "serving worker hung past the heartbeat timeout"));
+      }
+      seen.erase(w);
+    }
+  }
+}
+
+std::promise<ForecastResult>* ForecastServer::claim(InFlightBatch& b,
+                                                    size_t i) {
+  std::lock_guard<std::mutex> lock(b.m);
+  if (b.abandoned || b.resolved[i]) return nullptr;
+  b.resolved[i] = 1;
+  // Once claimed nobody else touches this promise (resolved[i] gates the
+  // watchdog and every worker path), so the caller may resolve it after
+  // dropping b.m.
+  return &b.reqs[i].promise;
+}
+
+bool ForecastServer::deliver_error(InFlightBatch& b, size_t i,
+                                   std::exception_ptr error,
+                                   uint64_t* extra_counter) {
+  std::promise<ForecastResult>* p = claim(b, i);
+  if (p == nullptr) return false;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++failed_;
+    if (extra_counter != nullptr) ++*extra_counter;
+  }
+  p->set_exception(std::move(error));
+  return true;
 }
 
 void ForecastServer::record_latency(double seconds) {
@@ -336,26 +836,40 @@ void ForecastServer::record_latency(double seconds) {
 
 ServerStatsSnapshot ForecastServer::stats() const {
   ServerStatsSnapshot s;
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  s.submitted = submitted_;
-  s.served = served_;
-  s.rejected = rejected_;
-  s.fallbacks = fallbacks_;
-  s.batches = batches_;
-  s.coalesced = coalesced_;
-  s.batch_hist = batch_hist_;
-  s.queue_depth = queue_.depth();
-  uint64_t total = 0;
-  for (uint64_t c : latency_hist_) total += c;
-  s.p50_ms = percentile_ms(latency_hist_, total, 0.50);
-  s.p95_ms = percentile_ms(latency_hist_, total, 0.95);
-  s.p99_ms = percentile_ms(latency_hist_, total, 0.99);
-  if (batches_ > 0) {
-    s.mean_batch = static_cast<double>(served_) / static_cast<double>(batches_);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    s.submitted = submitted_;
+    s.served = served_;
+    s.rejected = rejected_;
+    s.fallbacks = fallbacks_;
+    s.batches = batches_;
+    s.coalesced = coalesced_;
+    s.failed = failed_;
+    s.invalid = invalid_;
+    s.deadline_expired = deadline_expired_;
+    s.retries = retries_;
+    s.degraded = degraded_;
+    s.worker_lost = worker_lost_;
+    s.worker_restarts = worker_restarts_;
+    s.batch_hist = batch_hist_;
+    s.queue_depth = queue_.depth();
+    uint64_t total = 0;
+    for (uint64_t c : latency_hist_) total += c;
+    s.p50_ms = percentile_ms(latency_hist_, total, 0.50);
+    s.p95_ms = percentile_ms(latency_hist_, total, 0.95);
+    s.p99_ms = percentile_ms(latency_hist_, total, 0.99);
+    if (batches_ > 0) {
+      s.mean_batch =
+          static_cast<double>(served_) / static_cast<double>(batches_);
+    }
+    if (served_ > 0 && last_serve_ > first_serve_) {
+      s.throughput_rps = static_cast<double>(served_) /
+                         seconds_between(first_serve_, last_serve_);
+    }
   }
-  if (served_ > 0 && last_serve_ > first_serve_) {
-    s.throughput_rps = static_cast<double>(served_) /
-                       seconds_between(first_serve_, last_serve_);
+  for (const auto& b : breakers_) {
+    s.breaker_trips += b->trips();
+    if (b->open()) ++s.breaker_open_slots;
   }
   return s;
 }

@@ -6,14 +6,19 @@
 ///
 /// Architecture (pacs_bridge-style service layer around the domain core):
 ///
-///   clients ──submit()──▶ RequestQueue (bounded; block-or-reject)
+///   clients ──submit()──▶ input screening ─▶ RequestQueue (bounded)
 ///                             │ pop_batch (max-batch / max-wait)
-///                        worker pool ──▶ identical-episode collapse
+///                        worker pool ──▶ deadline triage
+///                             │        ──▶ identical-episode collapse
+///                             │        ──▶ circuit-breaker admit
 ///                             │        ──▶ coalesced surrogate forward
-///                             │            (one batch in flight per model)
+///                             │            (retries; one batch in flight
+///                             │             per model)
 ///                             ├─▶ per-entry decode + verification
-///                             ├─▶ numerical-model fallback on failure
+///                             ├─▶ numerical-model fallback / degraded mode
 ///                             └─▶ promise fan-out + ServerStats
+///        watchdog ── heartbeats ──▶ retire hung worker, fail its batch
+///                                   with kWorkerLost, spawn replacement
 ///
 /// Concurrency contract: each model slot's forward runs under a per-model
 /// mutex — the surrogate's Swin blocks keep a lazily grown window-mask
@@ -24,10 +29,19 @@
 /// fallback) with the next batch's forward.  Throughput comes from the
 /// micro-batching itself: see scheduler.hpp.
 ///
+/// Failure contract (see reliability.hpp): every accepted request's future
+/// resolves — with a result, or with a typed ForecastError.  A failure in
+/// one coalesced entry never fails sharers of other entries; a hung worker
+/// is detected by the watchdog and replaced without losing queued work; a
+/// slot whose failure rate trips its circuit breaker serves the verified
+/// numerical answer (degraded mode) until a half-open probe recovers it.
+///
 /// Results are bitwise identical to serial execution: every request's
 /// frames match a one-request-at-a-time run of the same episode exactly,
 /// for any arrival interleaving and any max_batch (grouped BatchNorm
 /// statistics + batch-invariant kernels; pinned in tests/test_serve.cpp).
+/// The reliability machinery is pure control flow around the same episode
+/// code, so a run where no fault fires stays bitwise identical too.
 ///
 /// Steady-state serving performs zero heap allocations per episode: each
 /// worker wraps a served batch in a tensor::ArenaScope, so all episode
@@ -35,6 +49,8 @@
 /// test_serve.cpp via alloc_stats().total_allocs).
 
 #include <array>
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -43,6 +59,7 @@
 
 #include "core/surrogate.hpp"
 #include "core/workflow.hpp"
+#include "serve/reliability.hpp"
 #include "serve/scheduler.hpp"
 
 namespace coastal::serve {
@@ -85,6 +102,8 @@ struct ServerConfig {
   int kernel_threads = 0;
 
   std::optional<FallbackContext> fallback;  ///< enable the ROMS rerun
+
+  ReliabilityConfig reliability;  ///< retries, breaker, watchdog, screening
 };
 
 /// Aggregated serving metrics; `snapshot()` is safe to call while serving.
@@ -95,6 +114,16 @@ struct ServerStatsSnapshot {
   uint64_t fallbacks = 0;
   uint64_t batches = 0;    ///< coalesced forwards executed
   uint64_t coalesced = 0;  ///< requests served by sharing an identical entry
+  // Reliability counters.
+  uint64_t failed = 0;   ///< queued requests resolved with a typed error
+  uint64_t invalid = 0;  ///< NaN/Inf windows refused at submit()
+  uint64_t deadline_expired = 0;  ///< requests failed kDeadlineExceeded
+  uint64_t retries = 0;           ///< forward retry attempts performed
+  uint64_t degraded = 0;     ///< requests served in breaker-degraded mode
+  uint64_t worker_lost = 0;  ///< in-flight requests failed by the watchdog
+  uint64_t worker_restarts = 0;  ///< replacement workers spawned
+  uint64_t breaker_trips = 0;    ///< closed -> open transitions, all slots
+  int breaker_open_slots = 0;    ///< slots currently open or half-open
   double p50_ms = 0.0;       ///< end-to-end request latency percentiles
   double p95_ms = 0.0;
   double p99_ms = 0.0;
@@ -125,10 +154,13 @@ class ForecastServer {
 
   /// Enqueue one episode.  Returns the result future, or nullopt when the
   /// request was rejected (queue full under Overflow::kReject, or server
-  /// shut down).  Validates the window against the slot's spec.
+  /// shut down).  Validates the window against the slot's spec; a window
+  /// containing NaN/Inf resolves the returned future immediately with
+  /// ForecastError::kInvalidInput (when screening is enabled).
   std::optional<std::future<ForecastResult>> submit(ForecastRequest request);
 
   /// Stop accepting requests, drain every queued episode, join workers.
+  /// Releases fault-injected hangs so a chaos run always terminates.
   /// Idempotent; the destructor calls it.
   void shutdown();
 
@@ -136,21 +168,68 @@ class ForecastServer {
   const ServerConfig& config() const { return config_; }
 
  private:
-  void worker_loop();
-  void serve_batch(std::vector<PendingRequest>& batch);
+  /// A popped batch whose promises may be taken over by the watchdog.
+  /// All promise resolution goes through deliver_* under `m`, so a hung
+  /// worker that later resumes can never double-resolve a request the
+  /// watchdog already failed.
+  struct InFlightBatch {
+    std::mutex m;
+    bool abandoned = false;  ///< watchdog owns the unresolved promises now
+    std::vector<PendingRequest> reqs;
+    std::vector<char> resolved;  ///< per request, guarded by m
+  };
+
+  /// One serving worker: the thread plus its heartbeat telemetry.
+  struct WorkerState {
+    std::thread thread;
+    std::atomic<uint64_t> beat{0};  ///< bumped at serving checkpoints
+    std::atomic<bool> busy{false};  ///< inside serve_batch
+    std::atomic<bool> retired{false};  ///< watchdog gave up on this worker
+    std::atomic<bool> exited{false};   ///< worker_loop returned
+    std::mutex m;
+    std::shared_ptr<InFlightBatch> inflight;  ///< guarded by m
+  };
+
+  void worker_loop(WorkerState* state);
+  void serve_batch(WorkerState* state,
+                   const std::shared_ptr<InFlightBatch>& inflight);
+  void watchdog_loop();
+  /// Spawn a worker; caller holds workers_mutex_.
+  WorkerState* spawn_worker_locked();
+  /// Claim request `i` of `b` for resolution: marks it resolved and
+  /// returns its promise, or nullptr when the batch was abandoned or the
+  /// request already resolved (caller skips it entirely).  The caller
+  /// records stats BEFORE resolving the claimed promise — a client that
+  /// observes its outcome must also observe it in stats().
+  std::promise<ForecastResult>* claim(InFlightBatch& b, size_t i);
+  /// claim() + count into `failed_` (and optionally one more counter)
+  /// before setting the exception — the typed-failure fan-out helper.
+  bool deliver_error(InFlightBatch& b, size_t i, std::exception_ptr error,
+                     uint64_t* extra_counter = nullptr);
   void record_latency(double seconds);
 
   std::vector<ModelSlot> models_;
-  std::vector<std::unique_ptr<std::mutex>> model_mutexes_;
+  /// timed_mutex so a replacement worker can bound its wait on a slot a
+  /// hung predecessor still holds (watchdog mode only; otherwise these
+  /// are plain blocking locks).
+  std::vector<std::unique_ptr<std::timed_mutex>> model_mutexes_;
+  std::vector<std::unique_ptr<CircuitBreaker>> breakers_;
   const data::Normalizer& norm_;
   const ocean::Grid* grid_;
   ServerConfig config_;
   std::optional<core::MassVerifier> verifier_;  ///< engaged when grid_ set
 
   RequestQueue queue_;
-  std::vector<std::thread> workers_;
+  mutable std::mutex workers_mutex_;
+  std::vector<std::unique_ptr<WorkerState>> workers_;  ///< guarded above
+  int restarts_left_ = 0;  ///< guarded by workers_mutex_
   bool shut_down_ = false;
   std::mutex shutdown_mutex_;
+
+  std::thread watchdog_;
+  std::mutex watchdog_mutex_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
 
   // Stats: one mutex guards the counters and the log-bucketed latency
   // histogram (64 geometric buckets, ratio 2^(1/4), from 1 µs).
@@ -158,6 +237,8 @@ class ForecastServer {
   mutable std::mutex stats_mutex_;
   uint64_t submitted_ = 0, served_ = 0, rejected_ = 0, fallbacks_ = 0,
            batches_ = 0, coalesced_ = 0;
+  uint64_t failed_ = 0, invalid_ = 0, deadline_expired_ = 0, retries_ = 0,
+           degraded_ = 0, worker_lost_ = 0, worker_restarts_ = 0;
   std::array<uint64_t, kLatencyBuckets> latency_hist_{};
   std::array<uint64_t, ServerStatsSnapshot::kBatchHistBuckets> batch_hist_{};
   std::chrono::steady_clock::time_point first_serve_{};

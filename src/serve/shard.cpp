@@ -183,9 +183,12 @@ void unpack_strip(const std::vector<float>& buf, const TileExt& t,
 
 /// Refresh the halo ring of one frame from the four edge neighbours.
 /// Sends are buffered (mailbox semantics), so everyone sends first and
-/// receives second without deadlock-ordering concerns.
+/// receives second without deadlock-ordering concerns.  A positive
+/// `timeout_us` bounds each receive: a neighbour that never delivers
+/// (crashed rank, fault-dropped message) fails this rank with CommError
+/// instead of wedging the world.
 void exchange_ring(par::Comm& comm, const TileExt& t, int halo,
-                   data::CenterFields& f, int frame_tag,
+                   data::CenterFields& f, int frame_tag, int64_t timeout_us,
                    std::vector<float>& sendbuf, std::vector<float>& recvbuf) {
   for (int dir = 0; dir < 4; ++dir) {
     const int nb = neighbor_of(t, dir);
@@ -198,7 +201,11 @@ void exchange_ring(par::Comm& comm, const TileExt& t, int halo,
     if (nb < 0) continue;
     const Strip s = recv_strip(t, dir, halo);
     recvbuf.resize(strip_floats(s, f.nz));
-    comm.recv(nb, frame_tag * 8 + opposite(dir), recvbuf);
+    const int tag = frame_tag * 8 + opposite(dir);
+    if (!comm.recv_for(nb, tag, recvbuf, timeout_us)) {
+      throw par::CommError("halo exchange timed out waiting for rank " +
+                           std::to_string(nb));
+    }
     unpack_strip(recvbuf, t, s, f);
   }
 }
@@ -269,7 +276,7 @@ ShardedForecast run_sharded_forecast(
     const data::SampleSpec& global_spec, const data::Normalizer& norm,
     const ocean::Grid* grid,
     std::span<const data::CenterFields> truth, int episodes,
-    const ShardConfig& config) {
+    const ShardConfig& config, core::SurrogateModel* failover_model) {
   const int T = global_spec.T;
   const int ranks = config.ranks;
   COASTAL_CHECK_MSG(static_cast<int>(tile_models.size()) == ranks,
@@ -294,6 +301,7 @@ ShardedForecast run_sharded_forecast(
   ShardedForecast result;
   result.process_grid = pg;
   result.verified = verify;
+  result.attempted_ranks = ranks;
   // Pre-size the stitched frames; ranks fill disjoint owned regions.
   {
     data::CenterFields proto;
@@ -312,7 +320,8 @@ ShardedForecast run_sharded_forecast(
   std::vector<uint64_t> rank_msgs(static_cast<size_t>(ranks), 0);
 
   par::World world(ranks);
-  world.run([&](par::Comm& comm) {
+  try {
+    world.run([&](par::Comm& comm) {
     const int rank = comm.rank();
     const TileExt t = make_tile_ext(rank, pg[0], pg[1], global_spec.src_nx,
                                     global_spec.src_ny, config.halo);
@@ -350,8 +359,8 @@ ShardedForecast run_sharded_forecast(
         // extrapolation of the ring it does not own.  (Byte deltas isolate
         // ring traffic from the collectives' accounting below.)
         const uint64_t b0 = comm.bytes_sent(), m0 = comm.messages_sent();
-        exchange_ring(comm, t, config.halo, frame, e * T + tt, sendbuf,
-                      recvbuf);
+        exchange_ring(comm, t, config.halo, frame, e * T + tt,
+                      config.exchange_timeout_us, sendbuf, recvbuf);
         halo_bytes += comm.bytes_sent() - b0;
         halo_msgs += comm.messages_sent() - m0;
         if (verify) {
@@ -386,7 +395,27 @@ ShardedForecast run_sharded_forecast(
       result.verdict.max_residual = verdict_max;
       result.verdict.pass = verdict_pass;
     }
-  });
+    });
+  } catch (...) {
+    // A rank failed; the abort machinery has already unwound its siblings
+    // (no deadlocked world).  Fail over to a single-rank run on the
+    // global-spec model when the caller provided one — a ranks = 1
+    // decomposition is the whole unpadded domain, so the failover result
+    // is exactly a serial forecast of the same episodes.
+    if (!config.failover_single_rank || failover_model == nullptr ||
+        ranks <= 1) {
+      throw;
+    }
+    ShardConfig single = config;
+    single.ranks = 1;
+    core::SurrogateModel* solo[1] = {failover_model};
+    ShardedForecast fo = run_sharded_forecast(
+        std::span<core::SurrogateModel* const>(solo, 1), global_spec, norm,
+        grid, truth, episodes, single, nullptr);
+    fo.failed_over = true;
+    fo.attempted_ranks = ranks;
+    return fo;
+  }
 
   for (int r = 0; r < ranks; ++r) {
     result.halo_bytes += rank_bytes[static_cast<size_t>(r)];

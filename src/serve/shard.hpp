@@ -57,6 +57,15 @@ struct ShardConfig {
   double threshold = 4.0e-4;    ///< mass-residual bound, m/s
   double snapshot_dt = 1800.0;  ///< seconds between snapshots
   bool verify = true;           ///< needs a grid
+
+  /// Per-recv bound on each halo-exchange message (0 = wait forever).  A
+  /// rank whose neighbour never delivers (crash, dropped message) fails
+  /// with par::CommError instead of blocking the world.
+  int64_t exchange_timeout_us = 0;
+  /// When a rank fails (exchange timeout, injected fault, model error),
+  /// rerun the whole forecast single-rank on the caller-provided failover
+  /// model instead of propagating the error.
+  bool failover_single_rank = true;
 };
 
 struct ShardedForecast {
@@ -68,6 +77,8 @@ struct ShardedForecast {
   std::array<int, 2> process_grid{1, 1};  ///< (px, py)
   uint64_t halo_bytes = 0;     ///< ring-exchange traffic, all ranks
   uint64_t halo_messages = 0;
+  bool failed_over = false;  ///< sharded run failed; served single-rank
+  int attempted_ranks = 0;   ///< world size of the first attempt
 };
 
 /// The sample geometry of every rank's padded tile, in rank order — build
@@ -82,11 +93,20 @@ std::vector<data::SampleSpec> sharded_tile_specs(
 /// supplies episodes*T + 1 normalized global frames (IC + boundary data),
 /// `grid` (nullable) enables verification.  Rank threads run concurrently;
 /// each drives only its own model.
+///
+/// Robustness: a failing rank aborts the world (siblings unwind with
+/// par::CommAborted rather than deadlocking), and when
+/// `config.failover_single_rank` is set and `failover_model` is provided
+/// (a *global*-spec surrogate — tile models are tile-sized and cannot
+/// stand in), the forecast reruns single-rank on it; the result is then
+/// marked `failed_over`.  With no failover route the originating error
+/// propagates to the caller.
 ShardedForecast run_sharded_forecast(
     std::span<core::SurrogateModel* const> tile_models,
     const data::SampleSpec& global_spec, const data::Normalizer& norm,
     const ocean::Grid* grid,
     std::span<const data::CenterFields> truth_normalized, int episodes,
-    const ShardConfig& config);
+    const ShardConfig& config,
+    core::SurrogateModel* failover_model = nullptr);
 
 }  // namespace coastal::serve

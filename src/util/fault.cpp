@@ -1,0 +1,269 @@
+#include "util/fault.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace coastal::util {
+
+namespace {
+
+/// splitmix64 — small, fast, and statistically solid enough for Bernoulli
+/// draws; the point is determinism, not cryptography.
+inline uint64_t splitmix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+inline uint64_t fnv1a(const std::string& s) {
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+struct SiteSchedule {
+  FaultAction action = FaultAction::kNone;
+  double probability = 1.0;
+  uint64_t max_fires = UINT64_MAX;
+  std::chrono::microseconds delay{0};
+  uint64_t site_hash = 0;
+};
+
+struct SiteState {
+  SiteSchedule schedule;
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+};
+
+struct Registry {
+  mutable std::mutex m;
+  std::unordered_map<std::string, SiteState> sites;
+  uint64_t seed = 0;
+
+  // Hang parking.  `release_epoch` advances on release_hangs()/clear();
+  // a parked thread wakes once the epoch moves past the one it captured.
+  std::mutex hang_m;
+  std::condition_variable hang_cv;
+  uint64_t release_epoch = 0;
+  int parked = 0;
+
+  std::atomic<bool> armed{false};
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+FaultAction parse_action(const std::string& s) {
+  if (s == "throw") return FaultAction::kThrow;
+  if (s == "nan") return FaultAction::kNan;
+  if (s == "delay") return FaultAction::kDelay;
+  if (s == "hang") return FaultAction::kHang;
+  if (s == "drop") return FaultAction::kDrop;
+  COASTAL_CHECK_MSG(false, "unknown fault action '" << s << "'");
+  return FaultAction::kNone;
+}
+
+std::chrono::microseconds parse_duration(const std::string& s) {
+  size_t pos = 0;
+  const double v = std::stod(s, &pos);
+  const std::string unit = s.substr(pos);
+  COASTAL_CHECK_MSG(v >= 0, "negative fault delay '" << s << "'");
+  if (unit == "us") return std::chrono::microseconds(static_cast<int64_t>(v));
+  if (unit == "s") return std::chrono::microseconds(static_cast<int64_t>(v * 1e6));
+  COASTAL_CHECK_MSG(unit.empty() || unit == "ms",
+                    "unknown duration unit '" << unit << "' in fault delay");
+  return std::chrono::microseconds(static_cast<int64_t>(v * 1e3));
+}
+
+/// Parse one `site:action[=value][@prob][xN]` entry.
+std::pair<std::string, SiteSchedule> parse_entry(const std::string& entry) {
+  const size_t colon = entry.find(':');
+  COASTAL_CHECK_MSG(colon != std::string::npos && colon > 0,
+                    "fault entry '" << entry << "' lacks 'site:action'");
+  const std::string site = entry.substr(0, colon);
+  std::string rest = entry.substr(colon + 1);
+
+  SiteSchedule sched;
+  // Split suffixes off the back: xN first, then @prob, then =value.
+  const size_t xpos = rest.rfind('x');
+  if (xpos != std::string::npos && xpos + 1 < rest.size() &&
+      std::isdigit(static_cast<unsigned char>(rest[xpos + 1]))) {
+    sched.max_fires = std::stoull(rest.substr(xpos + 1));
+    COASTAL_CHECK_MSG(sched.max_fires > 0,
+                      "fault entry '" << entry << "' has x0 max-fires");
+    rest = rest.substr(0, xpos);
+  }
+  const size_t at = rest.find('@');
+  if (at != std::string::npos) {
+    sched.probability = std::stod(rest.substr(at + 1));
+    COASTAL_CHECK_MSG(sched.probability >= 0.0 && sched.probability <= 1.0,
+                      "fault probability out of [0,1] in '" << entry << "'");
+    rest = rest.substr(0, at);
+  }
+  const size_t eq = rest.find('=');
+  std::string value;
+  if (eq != std::string::npos) {
+    value = rest.substr(eq + 1);
+    rest = rest.substr(0, eq);
+  }
+  sched.action = parse_action(rest);
+  if (sched.action == FaultAction::kDelay) {
+    COASTAL_CHECK_MSG(!value.empty(),
+                      "delay fault '" << entry << "' needs '=<duration>'");
+    sched.delay = parse_duration(value);
+  } else {
+    COASTAL_CHECK_MSG(value.empty(),
+                      "fault action in '" << entry << "' takes no value");
+  }
+  sched.site_hash = fnv1a(site);
+  return {site, sched};
+}
+
+/// Auto-install from the environment once, at first armed() check after
+/// static init.  Done via a static rather than in fault_armed() to keep
+/// the fast path to one atomic load.
+struct EnvInstaller {
+  EnvInstaller() {
+    const char* e = std::getenv("COASTAL_FAULTS");
+    if (e && *e) FaultInjector::instance().install(e);
+  }
+};
+
+}  // namespace
+
+FaultInjector::FaultInjector() = default;
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector inj;
+  return inj;
+}
+
+void FaultInjector::install(const std::string& schedule, uint64_t seed) {
+  Registry& r = registry();
+  std::unordered_map<std::string, SiteState> sites;
+  size_t start = 0;
+  while (start < schedule.size()) {
+    size_t end = schedule.find(';', start);
+    if (end == std::string::npos) end = schedule.size();
+    const std::string entry = schedule.substr(start, end - start);
+    if (!entry.empty()) {
+      auto [site, sched] = parse_entry(entry);
+      sites[site].schedule = sched;
+    }
+    start = end + 1;
+  }
+  const bool empty = sites.empty();
+  {
+    std::lock_guard<std::mutex> lock(r.m);
+    r.sites = std::move(sites);
+    r.seed = seed;
+    r.armed.store(!empty, std::memory_order_release);
+  }
+  if (empty) release_hangs();
+}
+
+void FaultInjector::clear() {
+  Registry& r = registry();
+  {
+    std::lock_guard<std::mutex> lock(r.m);
+    r.sites.clear();
+    r.armed.store(false, std::memory_order_release);
+  }
+  release_hangs();
+}
+
+void FaultInjector::release_hangs() {
+  Registry& r = registry();
+  {
+    std::lock_guard<std::mutex> lock(r.hang_m);
+    ++r.release_epoch;
+  }
+  r.hang_cv.notify_all();
+}
+
+bool FaultInjector::armed() const {
+  return registry().armed.load(std::memory_order_acquire);
+}
+
+int FaultInjector::parked() const {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.hang_m);
+  return r.parked;
+}
+
+FaultSiteStats FaultInjector::site_stats(const std::string& site) const {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.m);
+  auto it = r.sites.find(site);
+  if (it == r.sites.end()) return {};
+  return {it->second.hits, it->second.fires};
+}
+
+std::map<std::string, FaultSiteStats> FaultInjector::stats() const {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.m);
+  std::map<std::string, FaultSiteStats> out;
+  for (const auto& [site, st] : r.sites) out[site] = {st.hits, st.fires};
+  return out;
+}
+
+FaultAction FaultInjector::decide_and_act(const char* site) {
+  Registry& r = registry();
+  FaultAction action = FaultAction::kNone;
+  std::chrono::microseconds delay{0};
+  {
+    std::lock_guard<std::mutex> lock(r.m);
+    auto it = r.sites.find(site);
+    if (it == r.sites.end()) return FaultAction::kNone;
+    SiteState& st = it->second;
+    const uint64_t hit = st.hits++;
+    if (st.fires >= st.schedule.max_fires) return FaultAction::kNone;
+    // Bernoulli draw, pure function of (seed, site, hit index): the same
+    // schedule replayed produces the same firing hit set.
+    const uint64_t u = splitmix64(r.seed ^ st.schedule.site_hash ^ hit);
+    const double draw =
+        static_cast<double>(u >> 11) * (1.0 / 9007199254740992.0);
+    if (draw >= st.schedule.probability) return FaultAction::kNone;
+    ++st.fires;
+    action = st.schedule.action;
+    delay = st.schedule.delay;
+  }
+  // Perform side effects outside the registry lock so a delayed or parked
+  // thread never blocks other sites' decisions.
+  switch (action) {
+    case FaultAction::kThrow:
+      throw FaultInjectedError(site);
+    case FaultAction::kDelay:
+      std::this_thread::sleep_for(delay);
+      return FaultAction::kDelay;
+    case FaultAction::kHang: {
+      std::unique_lock<std::mutex> lock(r.hang_m);
+      const uint64_t epoch = r.release_epoch;
+      ++r.parked;
+      r.hang_cv.wait(lock, [&r, epoch] { return r.release_epoch != epoch; });
+      --r.parked;
+      return FaultAction::kHang;
+    }
+    default:
+      return action;
+  }
+}
+
+bool fault_armed() {
+  static EnvInstaller env_once;
+  return FaultInjector::instance().armed();
+}
+
+}  // namespace coastal::util
