@@ -368,6 +368,10 @@ static void BM_ServeThroughput(benchmark::State& state) {
   cfg.batch.max_wait_us = 20000;
   cfg.queue_capacity = 64;
   cfg.verify = false;
+  // The forecast cache would serve every iteration after the first from
+  // memory; keep it out so this stays a forward-path schedule benchmark
+  // (the cache has its own figure, BM_ServeCached).
+  cfg.cache.enabled = false;
   serve::ForecastServer server({{w.model.get(), w.spec}}, w.norm, nullptr,
                                cfg);
   std::vector<std::future<serve::ForecastResult>> futures;
@@ -410,6 +414,7 @@ static void BM_ServeFaulty(benchmark::State& state) {
   cfg.batch.max_wait_us = 20000;
   cfg.queue_capacity = 64;
   cfg.verify = false;
+  cfg.cache.enabled = false;  // measure the retry path, not cache hits
   cfg.reliability.retry.max_attempts = 4;
   cfg.reliability.retry.backoff_us = 100;
   {
@@ -441,6 +446,78 @@ static void BM_ServeFaulty(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * ServeBenchWorld::kTrace);
 }
 BENCHMARK(BM_ServeFaulty)->UseRealTime();
+
+static void BM_ServeCached(benchmark::State& state, int mode) {
+  // Requests/s through the content-addressed forecast cache
+  // (docs/caching.md), 8 clients per iteration like BM_ServeThroughput:
+  //   cold   — every window is new: probe misses, full forward, insert.
+  //            The delta vs BM_ServeThroughput/108 is the keying +
+  //            admission overhead on the miss path.
+  //   warm   — every window repeats: exact hits, zero forwards.  The
+  //            cache's headline figure; expected orders of magnitude
+  //            above cold (gated at >= 2x in the JSON refresh).
+  //   prefix — 2-episode chains whose 1-episode prefix stays cached while
+  //            the second episode's boundary frames change every
+  //            iteration: each request resumes the chain from the cached
+  //            prefix and computes one episode instead of two.
+  // Cold/prefix mutate one boundary float per request to mint fresh keys;
+  // hit/miss composition is what is being measured, so the mutation cost
+  // (one float store) is noise.
+  auto& w = ServeBenchWorld::instance();
+  serve::ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.batch.max_batch = 8;
+  cfg.batch.max_wait_us = 20000;
+  cfg.queue_capacity = 64;
+  cfg.verify = false;
+  serve::ForecastServer server({{w.model.get(), w.spec}}, w.norm, nullptr,
+                               cfg);
+  const int episodes = mode == 2 ? 2 : 1;
+  const size_t frames = static_cast<size_t>(episodes) * 3 + 1;
+  auto make_request = [&](int i, float salt) {
+    serve::ForecastRequest req;
+    req.window.reserve(frames);
+    const auto win = w.window(i);
+    req.window.assign(win.begin(), win.end());
+    for (size_t t = req.window.size(); t < frames; ++t)
+      req.window.push_back(w.trace[t % w.trace.size()]);
+    if (salt != 0.0f) req.window.back().u[0] = salt;
+    return req;
+  };
+  if (mode != 0) {
+    // Warm the cache: the exact windows (warm) / their 1-episode
+    // prefixes (prefix) the timed loop will probe for.
+    std::vector<std::future<serve::ForecastResult>> warmup;
+    for (int i = 0; i < ServeBenchWorld::kTrace; ++i) {
+      serve::ForecastRequest req;
+      const auto win = w.window(i);
+      req.window.assign(win.begin(), win.end());
+      auto f = server.submit(std::move(req));
+      if (f) warmup.push_back(std::move(*f));
+    }
+    for (auto& f : warmup) f.get();
+  }
+  float salt = 1.0f;
+  std::vector<std::future<serve::ForecastResult>> futures;
+  futures.reserve(ServeBenchWorld::kTrace);
+  for (auto _ : state) {
+    futures.clear();
+    for (int i = 0; i < ServeBenchWorld::kTrace; ++i) {
+      // warm: repeat the cached windows verbatim.  cold/prefix: a fresh
+      // key per request (cold salts a 1-episode window outright; prefix
+      // salts only the second episode's boundary, keeping the prefix).
+      const bool fresh = mode != 1;
+      auto f = server.submit(
+          make_request(i, fresh ? (salt += 1.0f) : 0.0f));
+      if (f) futures.push_back(std::move(*f));
+    }
+    for (auto& f : futures) benchmark::DoNotOptimize(f.get());
+  }
+  state.SetItemsProcessed(state.iterations() * ServeBenchWorld::kTrace);
+}
+BENCHMARK_CAPTURE(BM_ServeCached, cold, 0)->UseRealTime();
+BENCHMARK_CAPTURE(BM_ServeCached, warm, 1)->UseRealTime();
+BENCHMARK_CAPTURE(BM_ServeCached, prefix, 2)->UseRealTime();
 
 static void BM_SolverStep(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -501,13 +578,31 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter {
       // to duplicate keys.
       if (run.run_type != Run::RT_Iteration || run.repetition_index > 0)
         continue;
+      // Key = (op, size).  Numeric path segments are the size (Arg
+      // benches); non-numeric ones — BENCHMARK_CAPTURE labels like
+      // BM_ServeCached/warm — stay part of the op so capture variants
+      // don't collapse onto one key.  The real_time/process_time
+      // suffixes UseRealTime appends are modifiers, not identity.
       const std::string full = run.benchmark_name();
-      std::string op = full;
+      std::string op;
       int64_t size = 0;
-      const size_t slash = full.find('/');
-      if (slash != std::string::npos) {
-        op = full.substr(0, slash);
-        size = std::strtoll(full.c_str() + slash + 1, nullptr, 10);
+      bool have_size = false;
+      size_t pos = 0;
+      while (pos <= full.size()) {
+        size_t slash = full.find('/', pos);
+        if (slash == std::string::npos) slash = full.size();
+        const std::string seg = full.substr(pos, slash - pos);
+        const bool numeric =
+            !seg.empty() &&
+            seg.find_first_not_of("0123456789") == std::string::npos;
+        if (numeric && !have_size) {
+          size = std::strtoll(seg.c_str(), nullptr, 10);
+          have_size = true;
+        } else if (seg != "real_time" && seg != "process_time") {
+          if (!op.empty()) op += '/';
+          op += seg;
+        }
+        pos = slash + 1;
       }
       double items_per_s = 0.0;
       const auto it = run.counters.find("items_per_second");

@@ -56,26 +56,49 @@ std::vector<data::CenterFields> rollout(
       "rollout needs " << episodes * T + 1 << " frames, got " << truth.size());
   model.set_training(false);
   tensor::NoGradGuard ng;
+  auto predictions = resume_rollout(
+      model, spec, norm, truth.first(static_cast<size_t>(episodes * T) + 1),
+      episodes, /*start_episode=*/0, /*resume_ic=*/nullptr);
+  model.set_training(true);
+  return predictions;
+}
+
+std::vector<data::CenterFields> resume_rollout(
+    SurrogateModel& model, const data::SampleSpec& spec,
+    const data::Normalizer& norm,
+    std::span<const data::CenterFields> window_normalized, int episodes,
+    int start_episode, const data::CenterFields* resume_ic,
+    const CancelHook* cancel) {
+  const int T = spec.T;
+  COASTAL_CHECK_MSG(
+      window_normalized.size() >= static_cast<size_t>(episodes * T + 1),
+      "resume_rollout needs " << episodes * T + 1 << " frames, got "
+                              << window_normalized.size());
+  COASTAL_CHECK_MSG(start_episode >= 0 && start_episode < episodes,
+                    "start_episode " << start_episode << " outside [0, "
+                                     << episodes << ")");
+  COASTAL_CHECK_MSG((start_episode == 0) == (resume_ic == nullptr),
+                    "resume_ic seeds exactly the start_episode > 0 resumes");
 
   std::vector<data::CenterFields> predictions;
-  predictions.reserve(static_cast<size_t>(episodes * T));
-  data::CenterFields ic_normalized;  // replaces truth IC after episode 0
+  predictions.reserve(static_cast<size_t>((episodes - start_episode) * T));
+  data::CenterFields ic_normalized;  // replaces the window IC after episode 0
+  if (resume_ic) ic_normalized = data::normalized_copy(*resume_ic, norm);
 
-  for (int e = 0; e < episodes; ++e) {
+  for (int e = start_episode; e < episodes; ++e) {
     // All episode activations (sample tensors, the forward graph-free
     // intermediates, the decoded output tensors) bump-allocate from one
     // arena and release in bulk here — steady-state episodes perform zero
     // per-op heap allocations.  Everything that outlives the episode
     // (CenterFields frames) is plain vector data, not tensors.
     tensor::ArenaScope arena;
-    std::span<const data::CenterFields> window =
-        truth.subspan(static_cast<size_t>(e * T), static_cast<size_t>(T) + 1);
+    std::span<const data::CenterFields> window = window_normalized.subspan(
+        static_cast<size_t>(e * T), static_cast<size_t>(T) + 1);
     auto frames = forecast_episode(model, spec, norm, window,
-                                   e > 0 ? &ic_normalized : nullptr);
+                                   e > 0 ? &ic_normalized : nullptr, cancel);
     ic_normalized = data::normalized_copy(frames.back(), norm);
     for (auto& f : frames) predictions.push_back(std::move(f));
   }
-  model.set_training(true);
   return predictions;
 }
 

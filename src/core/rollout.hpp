@@ -54,6 +54,25 @@ std::vector<data::CenterFields> rollout(
     const data::Normalizer& norm,
     std::span<const data::CenterFields> truth_normalized, int episodes);
 
+/// Resume (or start) a chained rollout at an episode boundary — the
+/// serve cache's prefix-reuse entry point.  `window_normalized` holds the
+/// full chain's episodes*T + 1 normalized frames; episodes before
+/// `start_episode` are assumed already computed, and `resume_ic` — the
+/// *denormalized* final frame of episode start_episode-1 (required iff
+/// start_episode > 0) — seeds the chain exactly as rollout()'s
+/// autoregressive hand-off would, so the returned
+/// (episodes - start_episode)*T frames are bitwise identical to the tail
+/// of a full rollout over the same window.  Unlike rollout(), grad/eval
+/// state is the caller's contract (forecast_episode rules): wrap in
+/// NoGradGuard + set_training(false); each episode still gets its own
+/// ArenaScope internally.
+std::vector<data::CenterFields> resume_rollout(
+    SurrogateModel& model, const data::SampleSpec& spec,
+    const data::Normalizer& norm,
+    std::span<const data::CenterFields> window_normalized, int episodes,
+    int start_episode, const data::CenterFields* resume_ic,
+    const CancelHook* cancel = nullptr);
+
 /// Dual-model long-horizon forecast.  The coarse model advances
 /// `coarse_episodes * T_c` coarse steps; each coarse frame (and the
 /// initial condition) seeds the fine model, which predicts `T_f` fine

@@ -47,22 +47,35 @@ VerificationResult MassVerifier::check_pair(const data::CenterFields& a,
   r.mean_residual = count ? sum / static_cast<double>(count) : 0.0;
   r.max_residual = worst;
   r.pass = r.mean_residual < threshold_;
+  r.pair_sum = r.mean_residual;
+  r.pairs = 1;
   return r;
 }
 
 VerificationResult MassVerifier::check_sequence(
     std::span<const data::CenterFields> frames, double dt_seconds) const {
   COASTAL_CHECK_MSG(frames.size() >= 2, "need at least two frames");
-  VerificationResult agg;
-  agg.pass = true;
-  double sum = 0.0;
-  for (size_t i = 0; i + 1 < frames.size(); ++i) {
-    const auto r = check_pair(frames[i], frames[i + 1], dt_seconds);
-    sum += r.mean_residual;
+  VerificationResult empty;
+  empty.pass = true;
+  return extend_sequence(empty, frames.front(), frames.subspan(1),
+                         dt_seconds);
+}
+
+VerificationResult MassVerifier::extend_sequence(
+    const VerificationResult& base, const data::CenterFields& seed,
+    std::span<const data::CenterFields> frames, double dt_seconds) const {
+  VerificationResult agg = base;
+  const data::CenterFields* prev = &seed;
+  for (const auto& f : frames) {
+    const auto r = check_pair(*prev, f, dt_seconds);
+    agg.pair_sum += r.mean_residual;
     agg.max_residual = std::max(agg.max_residual, r.max_residual);
     agg.pass = agg.pass && r.pass;
+    ++agg.pairs;
+    prev = &f;
   }
-  agg.mean_residual = sum / static_cast<double>(frames.size() - 1);
+  agg.mean_residual =
+      agg.pairs ? agg.pair_sum / static_cast<double>(agg.pairs) : 0.0;
   return agg;
 }
 

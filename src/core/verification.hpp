@@ -80,6 +80,14 @@ struct VerificationResult {
   double mean_residual = 0.0;  ///< m/s, averaged over wet cells
   double max_residual = 0.0;
   bool pass = false;
+  /// The raw left-to-right accumulation behind mean_residual: the sum of
+  /// per-pair mean residuals and the pair count.  Kept so a sequence
+  /// verdict over frames [0, k] can later be *extended* over appended
+  /// frames (extend_sequence) bitwise-identically to one longer pass —
+  /// reconstructing the sum from the divided mean would reintroduce a
+  /// rounding the single-pass fold never performs.
+  double pair_sum = 0.0;
+  int pairs = 0;
 };
 
 class MassVerifier {
@@ -100,6 +108,18 @@ class MassVerifier {
   /// requires every pair's mean to beat the threshold.
   VerificationResult check_sequence(std::span<const data::CenterFields> frames,
                                     double dt_seconds) const;
+
+  /// Extend a sequence verdict across appended frames: fold the
+  /// consecutive pairs of [seed, frames...] into `base` exactly as one
+  /// longer check_sequence pass would — same left-to-right double sum,
+  /// same max, same pass conjunction — so a cached prefix verdict plus a
+  /// freshly computed suffix reproduces the full-chain verdict bitwise
+  /// (the serve cache's prefix-resume verification).  `seed` is the last
+  /// frame `base` covered; `base` must carry its pair_sum/pairs.
+  VerificationResult extend_sequence(const VerificationResult& base,
+                                     const data::CenterFields& seed,
+                                     std::span<const data::CenterFields> frames,
+                                     double dt_seconds) const;
 
  private:
   const ocean::Grid& grid_;

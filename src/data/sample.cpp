@@ -115,6 +115,39 @@ Sample make_sample(const SampleSpec& spec,
   return s;
 }
 
+BatchedInput make_batched_input(
+    const SampleSpec& spec,
+    std::span<const std::span<const CenterFields>> windows) {
+  const int B = static_cast<int>(windows.size());
+  COASTAL_CHECK_MSG(B > 0, "batched input needs at least one window");
+
+  BatchedInput batch;
+  batch.volume =
+      tensor::Tensor::zeros({B, 3, spec.H, spec.W, spec.D, spec.T + 1});
+  batch.surface = tensor::Tensor::zeros({B, 1, spec.H, spec.W, spec.T + 1});
+
+  for (int b = 0; b < B; ++b) {
+    const auto window = windows[static_cast<size_t>(b)];
+    COASTAL_CHECK_MSG(static_cast<int>(window.size()) == spec.T + 1,
+                      "window needs T+1 = " << spec.T + 1
+                                            << " snapshots, got "
+                                            << window.size());
+    float* vol = batch.volume.raw() + b * spec.volume_numel();
+    float* surf = batch.surface.raw() + b * spec.surface_numel();
+    for (int t = 0; t <= spec.T; ++t) {
+      const auto& f = window[static_cast<size_t>(t)];
+      COASTAL_CHECK(f.nx == spec.src_nx && f.ny == spec.src_ny &&
+                    f.nz == spec.src_nz);
+      const bool bc_only = (t > 0);
+      pack_volume(vol, spec, 0, t, f.u, bc_only);
+      pack_volume(vol, spec, 1, t, f.v, bc_only);
+      pack_volume(vol, spec, 2, t, f.w, bc_only);
+      pack_surface(surf, spec, t, f.zeta, bc_only);
+    }
+  }
+  return batch;
+}
+
 tensor::Tensor valid_mask(const SampleSpec& spec) {
   tensor::Tensor m = tensor::Tensor::zeros({spec.H, spec.W});
   for (int iy = 0; iy < spec.src_ny; ++iy)

@@ -60,6 +60,23 @@ struct Sample {
 Sample make_sample(const SampleSpec& spec,
                    std::span<const CenterFields> window);
 
+/// Inference-only batched input: the stacked volume/surface tensors for a
+/// batch of windows, without the target tensors a Sample would carry
+/// (serving never reads them — zeroing and concatenating them per request
+/// was pure waste).
+struct BatchedInput {
+  tensor::Tensor volume;   ///< [B, 3, H, W, D, T+1]
+  tensor::Tensor surface;  ///< [B, 1, H, W, T+1]
+};
+
+/// Pack `windows` (each T+1 normalized snapshots) directly into one
+/// stacked batch: request b lands at offset b*volume_numel() /
+/// b*surface_numel(), written by the same packers make_sample uses, so
+/// the bytes are bitwise identical to concatenating per-window samples.
+BatchedInput make_batched_input(
+    const SampleSpec& spec,
+    std::span<const std::span<const CenterFields>> windows);
+
 /// [H, W] mask: 1 inside the original mesh, 0 in the zero-padding.
 tensor::Tensor valid_mask(const SampleSpec& spec);
 

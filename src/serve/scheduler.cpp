@@ -23,10 +23,12 @@ bool RequestQueue::push(PendingRequest& p, bool block) {
   return true;
 }
 
-void RequestQueue::extract_locked(int model_id, size_t max,
+void RequestQueue::extract_locked(int model_id, size_t window_frames,
+                                  size_t max,
                                   std::vector<PendingRequest>& out) {
   for (auto it = items_.begin(); it != items_.end() && out.size() < max;) {
-    if (it->request.model_id == model_id) {
+    if (it->request.model_id == model_id &&
+        it->request.window.size() == window_frames) {
       out.push_back(std::move(*it));
       it = items_.erase(it);
     } else {
@@ -44,7 +46,11 @@ std::vector<PendingRequest> RequestQueue::pop_batch(
   not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
   if (items_.empty()) return batch;  // closed and drained
 
+  // Batch key: model slot AND chain length.  Mixed-length windows cannot
+  // share one stacked forward (different tensor shapes), so a chain
+  // request never rides in a single-episode batch.
   const int key = items_.front().request.model_id;
+  const size_t key_frames = items_.front().request.window.size();
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::microseconds(policy.max_wait_us);
   // Every extraction immediately wakes blocked producers: under the
@@ -55,7 +61,7 @@ std::vector<PendingRequest> RequestQueue::pop_batch(
   // cannot happen.
   auto extract_and_wake = [&](int k) {
     const size_t before = batch.size();
-    extract_locked(k, max, batch);
+    extract_locked(k, key_frames, max, batch);
     if (batch.size() != before) not_full_.notify_all();
   };
   extract_and_wake(key);

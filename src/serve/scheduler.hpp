@@ -14,8 +14,9 @@
 ///
 /// The batching policy is the classic max-batch / max-wait pair: a worker
 /// popping the queue takes the front request, then keeps collecting
-/// compatible requests (same model_id; FIFO order preserved within the
-/// key) until it holds `max_batch` of them or `max_wait_us` has elapsed
+/// compatible requests (same model_id and window length; FIFO order
+/// preserved within the key) until it holds `max_batch` of them or
+/// `max_wait_us` has elapsed
 /// since the pop began.  Requests for other models are left queued for
 /// the next worker, so one slow model cannot starve another's traffic.
 ///
@@ -35,11 +36,12 @@
 
 namespace coastal::serve {
 
-/// One forecast episode to serve: T+1 normalized frames — the initial
-/// condition at t = 0 and the lateral boundary conditions at t = 1..T
-/// (the regional-model contract, exactly what one run_workflow episode
-/// consumes).  `model_id` selects the server's model slot; episodes are
-/// only ever batched with others of the same slot.
+/// One forecast chain to serve: e*T+1 normalized frames for e >= 1
+/// episodes — the initial condition at t = 0 and the lateral boundary
+/// conditions for every later step (the regional-model contract; e = 1 is
+/// the single-episode case, e > 1 chains autoregressively exactly like
+/// core::rollout).  `model_id` selects the server's model slot; requests
+/// are only ever batched with others of the same slot *and* chain length.
 struct ForecastRequest {
   int model_id = 0;
   std::vector<data::CenterFields> window;
@@ -63,6 +65,12 @@ struct ForecastResult {
   bool degraded = false;
   int batch_size = 1;  ///< distinct episodes in the coalesced forward
   int sharers = 1;     ///< requests served by this request's batch entry
+  /// Served from the content-addressed forecast cache (docs/caching.md):
+  /// no surrogate forward ran for this request at all (batch_size 0).
+  bool cache_hit = false;
+  /// Frames reused from a cached prefix of this window; only the
+  /// remaining frames.size() - resumed_frames were freshly computed.
+  int resumed_frames = 0;
   double queue_seconds = 0.0;    ///< submit -> batch assembly
   double service_seconds = 0.0;  ///< batch assembly -> completion
 };
@@ -118,9 +126,10 @@ class RequestQueue {
   size_t depth() const;
 
  private:
-  /// Move every queued request with `model_id` into `out` (FIFO order),
-  /// up to `max` total in `out`.  Caller holds the mutex.
-  void extract_locked(int model_id, size_t max,
+  /// Move every queued request with `model_id` AND `window_frames` window
+  /// length into `out` (FIFO order), up to `max` total in `out`.  Caller
+  /// holds the mutex.
+  void extract_locked(int model_id, size_t window_frames, size_t max,
                       std::vector<PendingRequest>& out);
 
   mutable std::mutex mutex_;

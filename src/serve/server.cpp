@@ -8,6 +8,7 @@
 
 #include "core/decode.hpp"
 #include "core/rollout.hpp"
+#include "data/sample.hpp"
 #include "nn/layers.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tensor/kernels.hpp"
@@ -161,6 +162,10 @@ ForecastServer::ForecastServer(std::vector<ModelSlot> models,
   if (grid_ && config_.verify) {
     verifier_.emplace(*grid_, config_.threshold);
   }
+  // Deployment knobs (COASTAL_CACHE*) override the configured policy; the
+  // effective policy is stored back so config().cache tells the truth.
+  config_.cache = cache_policy_from_env(config_.cache);
+  cache_ = std::make_unique<ForecastCache>(config_.cache);
   COASTAL_CHECK_MSG(!config_.fallback || (grid_ && config_.verify),
                     "the ROMS fallback requires a grid and verify=true");
   for (size_t i = 0; i < models_.size(); ++i) {
@@ -241,9 +246,10 @@ std::optional<std::future<ForecastResult>> ForecastServer::submit(
                     "bad model_id " << request.model_id);
   const auto& spec = models_[static_cast<size_t>(request.model_id)].spec;
   COASTAL_CHECK_MSG(
-      request.window.size() == static_cast<size_t>(spec.T) + 1,
-      "request needs T+1 = " << spec.T + 1 << " frames, got "
-                             << request.window.size());
+      request.window.size() > static_cast<size_t>(spec.T) &&
+          (request.window.size() - 1) % static_cast<size_t>(spec.T) == 0,
+      "request needs e*T+1 frames (T = " << spec.T << "), got "
+                                         << request.window.size());
   for (const auto& f : request.window) {
     COASTAL_CHECK_MSG(f.nx == spec.src_nx && f.ny == spec.src_ny &&
                           f.nz == spec.src_nz,
@@ -358,6 +364,11 @@ void ForecastServer::serve_batch(
   const int model_id = batch.front().request.model_id;
   auto& slot = models_[static_cast<size_t>(model_id)];
   const data::SampleSpec& spec = slot.spec;
+  // pop_batch keys on (model_id, window length), so the chain length is
+  // uniform across the batch: 1 episode takes the stacked-forward route,
+  // e > 1 the sequential chain route below.
+  const int episodes =
+      static_cast<int>(batch.front().request.window.size() - 1) / spec.T;
   CircuitBreaker& breaker = *breakers_[static_cast<size_t>(model_id)];
   const bool can_degrade = config_.fallback.has_value();
 
@@ -396,13 +407,10 @@ void ForecastServer::serve_batch(
     owner[i] = u;
   }
   if (uniques.empty()) return;
-  const int64_t B = static_cast<int64_t>(uniques.size());
   std::vector<int> sharers(uniques.size(), 0);
-  size_t alive = 0;
   for (size_t i = 0; i < batch.size(); ++i) {
     if (dead[i]) continue;
     ++sharers[owner[i]];
-    ++alive;
   }
 
   // Circuit-breaker admission: an open slot serves the verified numerical
@@ -420,14 +428,86 @@ void ForecastServer::serve_batch(
     return;
   }
 
+  // Content-addressed cache probe (docs/caching.md), after breaker
+  // admission so a non-normal slot bypasses the cache entirely: degraded
+  // traffic must take the numerical route, and a half-open probe batch
+  // exists precisely to exercise the surrogate.
+  std::vector<ForecastCache::Probe> probes(uniques.size());
+  std::vector<char> done(uniques.size(), 0);
+  const bool use_cache = cache_->policy().enabled &&
+                         mode == CircuitBreaker::Mode::kNormal;
+  if (use_cache) {
+    for (size_t u = 0; u < uniques.size(); ++u) {
+      probes[u] = cache_->probe(model_id, slot.version, spec,
+                                batch[uniques[u]].request.window);
+    }
+  }
+  // Exact hits deliver immediately: no forward, no re-verification — by
+  // bitwise rollout determinism the stored frames ARE what a recompute
+  // would produce, and the stored verdict already certified them.
+  for (size_t u = 0; u < uniques.size(); ++u) {
+    if (!probes[u].hit) continue;
+    done[u] = 1;
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      coalesced_ += static_cast<uint64_t>(sharers[u] - 1);
+    }
+    int remaining = sharers[u];
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (dead[i] || owner[i] != u) continue;
+      dead[i] = 1;
+      const auto t_done = clock::now();
+      const bool last = --remaining == 0;
+      if (has_deadline(batch[i]) && t_done >= batch[i].deadline) {
+        deliver_error(*inflight, i,
+                      typed_error(ForecastErrorCode::kDeadlineExceeded,
+                                  "expired before delivery"),
+                      &deadline_expired_);
+        continue;
+      }
+      std::promise<ForecastResult>* p = claim(*inflight, i);
+      if (p == nullptr) continue;
+      ForecastResult result;
+      result.frames = last ? std::move(probes[u].frames) : probes[u].frames;
+      result.batch_size = 0;  // no forward ran for this request
+      result.sharers = sharers[u];
+      result.cache_hit = true;
+      result.verdict = probes[u].verdict;
+      result.verified = probes[u].verified;
+      result.queue_seconds = seconds_between(batch[i].enqueued, t_assembled);
+      result.service_seconds = seconds_between(t_assembled, t_done);
+      record_latency(seconds_between(batch[i].enqueued, t_done));
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++served_;
+        if (first_serve_ == clock::time_point{}) first_serve_ = t_assembled;
+        last_serve_ = t_done;
+      }
+      p->set_value(std::move(result));
+    }
+  }
+
+  // The uniques that still need the surrogate (misses and prefix hits).
+  std::vector<size_t> live;
+  live.reserve(uniques.size());
+  size_t live_sharers = 0;
+  for (size_t u = 0; u < uniques.size(); ++u) {
+    if (done[u]) continue;
+    live.push_back(u);
+    live_sharers += static_cast<size_t>(sharers[u]);
+  }
+  if (live.empty()) return;
+  const int64_t B = static_cast<int64_t>(live.size());
+
   // The coalesced surrogate forward, with bounded deterministic retry for
   // transient failures.  Skipped entirely in degraded mode.
   std::vector<std::vector<data::CenterFields>> decoded(uniques.size());
   std::vector<std::exception_ptr> entry_error(uniques.size());
+  std::vector<int> resumed(uniques.size(), 0);
   bool forward_ok = false;
   bool deadline_abort = false;
   std::exception_ptr forward_error;
-  if (!breaker_degraded) {
+  if (!breaker_degraded && episodes == 1) {
     // Everything tensor-shaped in this block — the per-request samples,
     // the stacked batch, the forward activations, the batched output —
     // bump-allocates from the arena and is released in bulk at scope
@@ -437,28 +517,22 @@ void ForecastServer::serve_batch(
     tensor::NoGradGuard ng;
     try {
       // Pack the batch *before* taking the model mutex: sample
-      // construction and stacking touch only request data and this
-      // worker's arena, so another worker's forward overlaps them (the
-      // pipeline overlap promised in server.hpp).
+      // construction touches only request data and this worker's arena,
+      // so another worker's forward overlaps it (the pipeline overlap
+      // promised in server.hpp).  The distinct episodes are written
+      // straight into one stacked tensor pair — no per-request target
+      // tensors, no intermediate concat (bitwise-pinned against the old
+      // concat path in tests/test_serve.cpp).
       tensor::Tensor vol, surf;
       {
-        // Coalesce: stack the distinct episodes along the batch dimension.
-        std::vector<tensor::Tensor> vols, surfs;
-        vols.reserve(uniques.size());
-        surfs.reserve(uniques.size());
-        for (size_t u : uniques) {
-          data::Sample sample =
-              data::make_sample(spec, batch[u].request.window);
-          tensor::Shape vs = sample.volume.shape();
-          tensor::Shape ss = sample.surface.shape();
-          tensor::Shape bvs{1}, bss{1};
-          bvs.insert(bvs.end(), vs.begin(), vs.end());
-          bss.insert(bss.end(), ss.begin(), ss.end());
-          vols.push_back(sample.volume.reshape(bvs));
-          surfs.push_back(sample.surface.reshape(bss));
+        std::vector<std::span<const data::CenterFields>> windows;
+        windows.reserve(live.size());
+        for (size_t u : live) {
+          windows.push_back(batch[uniques[u]].request.window);
         }
-        vol = B == 1 ? std::move(vols[0]) : tensor::concat(vols, 0);
-        surf = B == 1 ? std::move(surfs[0]) : tensor::concat(surfs, 0);
+        data::BatchedInput in = data::make_batched_input(spec, windows);
+        vol = std::move(in.volume);
+        surf = std::move(in.surface);
       }
       state->beat.fetch_add(1, std::memory_order_relaxed);
 
@@ -531,11 +605,12 @@ void ForecastServer::serve_batch(
         // Per-entry decode: one entry's failure (or injected fault) must
         // not fail sharers of healthy entries — the blast radius stays
         // one episode.
-        for (size_t u = 0; u < uniques.size(); ++u) {
+        for (size_t b = 0; b < live.size(); ++b) {
+          const size_t u = live[b];
           try {
             const util::FaultAction fa = COASTAL_FAULT_POINT("rollout.step");
             decoded[u] = core::decode_prediction_entry(
-                spec, out, static_cast<int64_t>(u), norm_);
+                spec, out, static_cast<int64_t>(b), norm_);
             if (fa == util::FaultAction::kNan) poison_first_frame(decoded[u]);
           } catch (...) {
             entry_error[u] = std::current_exception();
@@ -547,6 +622,100 @@ void ForecastServer::serve_batch(
       // failure below.
       forward_error = std::current_exception();
     }
+  } else if (!breaker_degraded) {
+    // Chain route (e > 1 episodes): a chain is inherently sequential —
+    // episode e's initial condition is episode e-1's last frame — so
+    // there is nothing for a stacked forward to amortize across a chain.
+    // Each distinct window runs one resumed rollout; a prefix hit starts
+    // it at the first uncached episode (core::resume_rollout), which is
+    // where the cache pays off most.
+    tensor::NoGradGuard ng;
+    const RetryPolicy& retry = config_.reliability.retry;
+    const int max_attempts = std::max(1, retry.max_attempts);
+    for (size_t u : live) {
+      const auto& window = batch[uniques[u]].request.window;
+      const int start_episode = probes[u].prefix ? probes[u].episodes : 0;
+      // Cooperative cancel between episode forwards: abort only once
+      // every sharer's deadline has passed (nobody left to deliver to).
+      const core::CancelHook cancel = [&, u] {
+        const auto now = clock::now();
+        for (size_t i = 0; i < batch.size(); ++i) {
+          if (dead[i] || owner[i] != u) continue;
+          if (!has_deadline(batch[i]) || now < batch[i].deadline) return;
+        }
+        throw ForecastError(ForecastErrorCode::kDeadlineExceeded,
+                            "expired during chain rollout");
+      };
+      int64_t backoff_us = std::max<int64_t>(0, retry.backoff_us);
+      for (int attempt = 1; !done[u] && entry_error[u] == nullptr;
+           ++attempt) {
+        try {
+          std::unique_lock<std::timed_mutex> model_lock(
+              *model_mutexes_[static_cast<size_t>(model_id)],
+              std::defer_lock);
+          const int64_t hang_ms =
+              config_.reliability.watchdog.hang_timeout_ms;
+          if (hang_ms > 0) {
+            if (!model_lock.try_lock_for(std::chrono::milliseconds(
+                    std::max<int64_t>(1, hang_ms / 2)))) {
+              throw ForecastError(ForecastErrorCode::kModelFailure,
+                                  "model slot lock timed out");
+            }
+          } else {
+            model_lock.lock();
+          }
+          COASTAL_FAULT_POINT("serve.forward");
+          if (state->retired.load(std::memory_order_acquire)) return;
+          auto suffix = core::resume_rollout(
+              *slot.model, spec, norm_, window, episodes, start_episode,
+              start_episode > 0 ? &probes[u].frames.back() : nullptr,
+              &cancel);
+          if (start_episode > 0) {
+            // Keep the cached prefix intact across retries: copy it, then
+            // append the freshly computed suffix.
+            decoded[u] = probes[u].frames;
+            decoded[u].reserve(decoded[u].size() + suffix.size());
+            for (auto& f : suffix) decoded[u].push_back(std::move(f));
+            resumed[u] = static_cast<int>(probes[u].frames.size());
+          } else {
+            decoded[u] = std::move(suffix);
+          }
+          break;  // served by the epilogue below
+        } catch (const ForecastError& fe) {
+          if (fe.code() == ForecastErrorCode::kDeadlineExceeded) {
+            // A mid-chain deadline is delivered directly — the request
+            // expired, it did not fail; routing it into the numerical
+            // fallback would burn a full ROMS chain for nobody.
+            for (size_t i = 0; i < batch.size(); ++i) {
+              if (dead[i] || owner[i] != u) continue;
+              dead[i] = 1;
+              deliver_error(*inflight, i, std::make_exception_ptr(fe),
+                            &deadline_expired_);
+            }
+            done[u] = 1;
+          } else {
+            entry_error[u] = std::current_exception();  // never transient
+          }
+        } catch (...) {
+          const std::exception_ptr e = std::current_exception();
+          if (!is_transient(e) || attempt >= max_attempts) {
+            entry_error[u] = e;
+            break;
+          }
+          {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++retries_;
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+          backoff_us = static_cast<int64_t>(
+              static_cast<double>(backoff_us) * retry.backoff_mult);
+        }
+      }
+      state->beat.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Chain outcomes are per-entry (entry_error / done), never a single
+    // batch-wide forward failure.
+    forward_ok = true;
   }
 
   if (deadline_abort) {
@@ -585,7 +754,7 @@ void ForecastServer::serve_batch(
   if (forward_ok) {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++batches_;
-    coalesced_ += alive - uniques.size();
+    coalesced_ += live_sharers - live.size();
     const int bucket = std::min<int>(
         static_cast<int>(B), ServerStatsSnapshot::kBatchHistBuckets);
     ++batch_hist_[static_cast<size_t>(bucket - 1)];
@@ -597,6 +766,7 @@ void ForecastServer::serve_batch(
   // overlap it.
   int probe_failures = 0;
   for (size_t u = 0; u < uniques.size(); ++u) {
+    if (done[u]) continue;  // served from cache or expired mid-chain
     state->beat.fetch_add(1, std::memory_order_relaxed);
     const auto& window = batch[uniques[u]].request.window;
     bool entry_fallback = false, entry_verified = false;
@@ -622,7 +792,7 @@ void ForecastServer::serve_batch(
             data::denormalized_copy(window.front(), norm_);
         decoded[u] = core::numerical_episode(
             *grid_, config_.fallback->tides, config_.fallback->params,
-            current, current.time, config_.snapshot_dt, spec.T);
+            current, current.time, config_.snapshot_dt, spec.T * episodes);
         std::vector<data::CenterFields> seq;
         seq.reserve(decoded[u].size() + 1);
         seq.push_back(current);
@@ -638,7 +808,36 @@ void ForecastServer::serve_batch(
       } else if (verifier_) {
         const data::CenterFields current = data::denormalized_copy(
             window.front(), norm_);
-        if (config_.fallback) {
+        if (resumed[u] > 0) {
+          // Prefix resume: the cached verdict already folded the prefix
+          // pairs; extending it across the fresh suffix continues that
+          // exact left-to-right fold (MassVerifier::extend_sequence), so
+          // the combined verdict is bitwise what a cold full pass yields.
+          const auto nres = static_cast<size_t>(resumed[u]);
+          const std::span<const data::CenterFields> all(decoded[u]);
+          if (probes[u].verified) {
+            entry_verdict = verifier_->extend_sequence(
+                probes[u].verdict, decoded[u][nres - 1], all.subspan(nres),
+                config_.snapshot_dt);
+          } else {
+            std::vector<data::CenterFields> seq;
+            seq.reserve(decoded[u].size() + 1);
+            seq.push_back(current);
+            for (auto& f : decoded[u]) seq.push_back(f);
+            entry_verdict =
+                verifier_->check_sequence(seq, config_.snapshot_dt);
+          }
+          if (!entry_verdict.pass && config_.fallback) {
+            // Whole-chain numerical rerun, mirroring verify_or_fallback
+            // (the verdict keeps describing the surrogate chain).
+            decoded[u] = core::numerical_episode(
+                *grid_, config_.fallback->tides, config_.fallback->params,
+                current, current.time, config_.snapshot_dt,
+                spec.T * episodes);
+            entry_fallback = true;
+            resumed[u] = 0;  // nothing of the cache survived
+          }
+        } else if (config_.fallback) {
           // current.time is the request's own episode start (copied from
           // the IC frame), anchoring the restart's tidal phase.
           const core::EpisodeOutcome outcome = core::verify_or_fallback(
@@ -673,6 +872,16 @@ void ForecastServer::serve_batch(
       }
       continue;
     }
+    // Post-verification cache fill: only the healthy surrogate route in
+    // normal breaker mode is admitted — degraded, fallback, salvaged, and
+    // errored results never enter the cache (and the cache finite-scans
+    // unverified payloads as a last line of defense).  Outside any arena,
+    // as insert() requires: the entry's storage must outlive this batch.
+    if (use_cache && !numerical_route && !entry_fallback &&
+        entry_error[u] == nullptr) {
+      cache_->insert(model_id, slot.version, spec, window, decoded[u],
+                     entry_verdict, entry_verified);
+    }
     int remaining = sharers[u];
     for (size_t i = 0; i < batch.size(); ++i) {
       if (dead[i] || owner[i] != u) continue;
@@ -694,6 +903,7 @@ void ForecastServer::serve_batch(
       result.frames = last ? std::move(decoded[u]) : decoded[u];
       result.batch_size = static_cast<int>(B);
       result.sharers = sharers[u];
+      result.resumed_frames = resumed[u];
       result.verdict = entry_verdict;
       result.verified = entry_verified;
       result.fallback = entry_fallback;
@@ -871,6 +1081,15 @@ ServerStatsSnapshot ForecastServer::stats() const {
     s.breaker_trips += b->trips();
     if (b->open()) ++s.breaker_open_slots;
   }
+  const CacheStatsSnapshot c = cache_->stats();
+  s.cache_hits = c.hits;
+  s.cache_prefix_hits = c.prefix_hits;
+  s.cache_misses = c.misses;
+  s.cache_inserts = c.inserts;
+  s.cache_evictions = c.evictions;
+  s.cache_expired = c.expirations;
+  s.cache_bytes = c.bytes;
+  s.cache_entries = c.entries;
   return s;
 }
 

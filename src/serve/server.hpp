@@ -11,6 +11,9 @@
 ///                        worker pool ──▶ deadline triage
 ///                             │        ──▶ identical-episode collapse
 ///                             │        ──▶ circuit-breaker admit
+///                             │        ──▶ forecast-cache probe (exact
+///                             │            hits return with no forward;
+///                             │            prefix hits resume the chain)
 ///                             │        ──▶ coalesced surrogate forward
 ///                             │            (retries; one batch in flight
 ///                             │             per model)
@@ -59,6 +62,7 @@
 
 #include "core/surrogate.hpp"
 #include "core/workflow.hpp"
+#include "serve/cache.hpp"
 #include "serve/reliability.hpp"
 #include "serve/scheduler.hpp"
 
@@ -70,6 +74,9 @@ namespace coastal::serve {
 struct ModelSlot {
   core::SurrogateModel* model = nullptr;
   data::SampleSpec spec;
+  /// Weight generation; part of every cache key, so bumping it on a
+  /// reload invalidates all of the slot's cached forecasts at once.
+  int version = 0;
 };
 
 /// Optional numerical-model fallback context (run_workflow's ROMS rerun).
@@ -104,6 +111,11 @@ struct ServerConfig {
   std::optional<FallbackContext> fallback;  ///< enable the ROMS rerun
 
   ReliabilityConfig reliability;  ///< retries, breaker, watchdog, screening
+
+  /// Content-addressed forecast cache (docs/caching.md).  Environment
+  /// overrides (COASTAL_CACHE*) are applied at server construction; the
+  /// effective policy is visible via config().cache.
+  CachePolicy cache;
 };
 
 /// Aggregated serving metrics; `snapshot()` is safe to call while serving.
@@ -124,6 +136,15 @@ struct ServerStatsSnapshot {
   uint64_t worker_restarts = 0;  ///< replacement workers spawned
   uint64_t breaker_trips = 0;    ///< closed -> open transitions, all slots
   int breaker_open_slots = 0;    ///< slots currently open or half-open
+  // Forecast-cache counters (see CacheStatsSnapshot).
+  uint64_t cache_hits = 0;         ///< requests served without any forward
+  uint64_t cache_prefix_hits = 0;  ///< chains resumed from a cached prefix
+  uint64_t cache_misses = 0;
+  uint64_t cache_inserts = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_expired = 0;
+  uint64_t cache_bytes = 0;    ///< payload bytes currently cached
+  uint64_t cache_entries = 0;  ///< entries currently cached
   double p50_ms = 0.0;       ///< end-to-end request latency percentiles
   double p95_ms = 0.0;
   double p99_ms = 0.0;
@@ -218,6 +239,7 @@ class ForecastServer {
   const ocean::Grid* grid_;
   ServerConfig config_;
   std::optional<core::MassVerifier> verifier_;  ///< engaged when grid_ set
+  std::unique_ptr<ForecastCache> cache_;  ///< cross-request result reuse
 
   RequestQueue queue_;
   mutable std::mutex workers_mutex_;

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file hash.hpp
+/// Streaming 64-bit content hash for cache keys.
+///
+/// The serving cache (serve/cache.hpp) keys entries by the *bytes* of a
+/// request's normalized window, so the hash only needs to be a fast,
+/// well-mixed index — collisions are resolved by a full byte compare on
+/// probe, never trusted.  splitmix64's finalizer supplies the mixing; the
+/// stream is absorbed word-at-a-time with each word's position folded in,
+/// so reordered or shifted payloads land in different buckets.
+///
+/// The hasher is a small copyable value: `digest()` snapshots the state
+/// without finalizing the stream, which is what lets one pass over an
+/// e-episode window yield the key of every episode-boundary prefix
+/// (digest after frame p*T+1 == the key a p-episode request would hash).
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace coastal::util {
+
+class ContentHash {
+ public:
+  void update_u64(uint64_t x) {
+    state_ = mix64(state_ ^ mix64(x + kGolden * ++words_));
+  }
+
+  void update_i64(int64_t x) { update_u64(static_cast<uint64_t>(x)); }
+
+  /// Absorb raw bytes (word-at-a-time; the tail is zero-padded and the
+  /// byte count is folded in, so "abc" and "abc\0" differ).
+  void update_bytes(const void* p, size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    update_u64(static_cast<uint64_t>(n));
+    while (n >= 8) {
+      uint64_t w;
+      std::memcpy(&w, b, 8);
+      update_u64(w);
+      b += 8;
+      n -= 8;
+    }
+    if (n > 0) {
+      uint64_t w = 0;
+      std::memcpy(&w, b, n);
+      update_u64(w);
+    }
+  }
+
+  void update_f32(std::span<const float> v) {
+    update_bytes(v.data(), v.size() * sizeof(float));
+  }
+
+  /// Snapshot of the running state; absorbing more data keeps extending
+  /// the same stream.
+  uint64_t digest() const { return mix64(state_ + kGolden); }
+
+ private:
+  static constexpr uint64_t kGolden = 0x9E3779B97F4A7C15ull;
+
+  static uint64_t mix64(uint64_t z) {
+    z ^= z >> 30;
+    z *= 0xBF58476D1CE4E5B9ull;
+    z ^= z >> 27;
+    z *= 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    return z;
+  }
+
+  uint64_t state_ = kGolden;
+  uint64_t words_ = 0;
+};
+
+}  // namespace coastal::util

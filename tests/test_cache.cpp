@@ -1,0 +1,363 @@
+/// Forecast-cache tests: exact hits bitwise-equal to cold recomputes
+/// across kernel thread counts, prefix resume bitwise-equal to a full
+/// rollout (frames AND verdict), LRU eviction order with exact byte
+/// accounting, TTL expiry, the no-admission rules for faulted / fallback
+/// results, and the zero-allocation pin on the hit path.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <limits>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/rollout.hpp"
+#include "core/verification.hpp"
+#include "data/dataset.hpp"
+#include "data/normalization.hpp"
+#include "ocean/archive.hpp"
+#include "ocean/bathymetry.hpp"
+#include "parallel/thread_pool.hpp"
+#include "serve/cache.hpp"
+#include "serve/server.hpp"
+#include "tensor/storage.hpp"
+#include "util/fault.hpp"
+#include "test_helpers.hpp"
+
+namespace core = coastal::core;
+namespace data = coastal::data;
+namespace ocean = coastal::ocean;
+namespace par = coastal::par;
+namespace serve = coastal::serve;
+namespace tensor = coastal::tensor;
+namespace util = coastal::util;
+using coastal::util::Rng;
+
+namespace {
+
+struct FaultGuard {
+  ~FaultGuard() { util::FaultInjector::instance().clear(); }
+};
+
+core::SurrogateConfig model_config(const data::SampleSpec& spec) {
+  core::SurrogateConfig mcfg;
+  mcfg.H = spec.H;
+  mcfg.W = spec.W;
+  mcfg.D = spec.D;
+  mcfg.T = spec.T;
+  mcfg.patch_h = 5;
+  mcfg.patch_w = 5;
+  mcfg.patch_d = 2;
+  mcfg.embed_dim = 8;
+  mcfg.stages = 3;
+  mcfg.heads = {2, 4, 8};
+  return mcfg;
+}
+
+/// Same world as test_serve's: simulated archive + normalizer +
+/// untrained surrogate.  Cache correctness is about byte identity and
+/// bookkeeping, not skill.
+struct CacheWorld {
+  ocean::Grid grid{20, 20, 6, 400.0, 400.0};
+  ocean::TidalForcing tides = ocean::TidalForcing::gulf_coast_default();
+  ocean::PhysicsParams params;
+  std::vector<data::CenterFields> fields;       // denormalized
+  std::vector<data::CenterFields> fields_norm;  // normalized
+  data::Normalizer norm;
+  data::SampleSpec spec;
+  std::unique_ptr<core::SurrogateModel> model;
+
+  CacheWorld() {
+    params.dt = 10.0;
+    ocean::generate_estuary(grid, ocean::EstuaryParams{}, 42);
+    ocean::ArchiveConfig acfg;
+    acfg.spinup_seconds = 3600.0;
+    acfg.duration_seconds = 10 * 3600.0;
+    acfg.interval_seconds = 1800.0;
+    auto snaps = ocean::simulate_archive(grid, tides, params, acfg);
+    fields = data::center_archive(grid, snaps);
+    for (const auto& f : fields) norm.accumulate(f);
+    norm.freeze();
+    fields_norm = fields;
+    for (auto& f : fields_norm) norm.normalize_fields(f);
+    spec = data::make_spec(20, 20, 6, /*T=*/3, /*multiple_hw=*/4,
+                           /*multiple_d=*/2);
+    Rng rng(7);
+    model = std::make_unique<core::SurrogateModel>(model_config(spec), rng);
+  }
+
+  static CacheWorld& instance() {
+    static CacheWorld w;
+    return w;
+  }
+
+  /// Request whose chain starts at archive frame `start`.
+  serve::ForecastRequest request(size_t start, int episodes = 1) const {
+    serve::ForecastRequest r;
+    r.model_id = 0;
+    const size_t frames = static_cast<size_t>(episodes * spec.T) + 1;
+    r.window.assign(fields_norm.begin() + static_cast<ptrdiff_t>(start),
+                    fields_norm.begin() + static_cast<ptrdiff_t>(start + frames));
+    return r;
+  }
+
+  std::span<const data::CenterFields> window(size_t start,
+                                             int episodes = 1) const {
+    return {fields_norm.data() + start,
+            static_cast<size_t>(episodes * spec.T) + 1};
+  }
+
+  serve::ServerConfig config() const {
+    serve::ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.batch.max_batch = 4;
+    cfg.batch.max_wait_us = 1000;
+    cfg.threshold = 10.0;
+    return cfg;
+  }
+};
+
+void expect_frames_bitwise(const std::vector<data::CenterFields>& a,
+                           const std::vector<data::CenterFields>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t t = 0; t < a.size(); ++t) {
+    ASSERT_EQ(a[t].u.size(), b[t].u.size());
+    for (size_t i = 0; i < a[t].u.size(); ++i) {
+      ASSERT_EQ(a[t].u[i], b[t].u[i]) << "u frame " << t << " idx " << i;
+      ASSERT_EQ(a[t].v[i], b[t].v[i]);
+      ASSERT_EQ(a[t].w[i], b[t].w[i]);
+    }
+    for (size_t i = 0; i < a[t].zeta.size(); ++i) {
+      ASSERT_EQ(a[t].zeta[i], b[t].zeta[i]) << "zeta frame " << t;
+    }
+  }
+}
+
+serve::ForecastResult serve_one(serve::ForecastServer& server,
+                                serve::ForecastRequest req) {
+  auto f = server.submit(std::move(req));
+  EXPECT_TRUE(f.has_value());
+  return f->get();
+}
+
+/// Payload bytes one cached entry of `episodes` episodes accounts for:
+/// (window + result frames) * floats-per-frame * 4.
+uint64_t entry_bytes(const data::SampleSpec& spec, int episodes) {
+  const uint64_t n3 = static_cast<uint64_t>(spec.src_nz) * spec.src_ny *
+                      spec.src_nx;
+  const uint64_t n2 = static_cast<uint64_t>(spec.src_ny) * spec.src_nx;
+  const uint64_t ff = 3 * n3 + n2;
+  const uint64_t frames = static_cast<uint64_t>(episodes) * spec.T;
+  return (2 * frames + 1) * ff * sizeof(float);
+}
+
+}  // namespace
+
+TEST(ForecastCache, ExactHitBitwiseAcrossKernelThreadCounts) {
+  auto& w = CacheWorld::instance();
+  coastal::testing::KernelConfigOverride kco;
+  const size_t prev_pool = par::ThreadPool::global().size();
+
+  // Cold recompute under 1 kernel thread...
+  serve::ServerConfig cfg1 = w.config();
+  cfg1.kernel_threads = 1;
+  std::vector<data::CenterFields> cold1;
+  {
+    serve::ForecastServer server({{w.model.get(), w.spec}}, w.norm, &w.grid,
+                                 cfg1);
+    cold1 = serve_one(server, w.request(0)).frames;
+  }
+  // ...and a cold fill + warm hit under 2 kernel threads.
+  serve::ServerConfig cfg2 = w.config();
+  cfg2.kernel_threads = 2;
+  {
+    serve::ForecastServer server({{w.model.get(), w.spec}}, w.norm, &w.grid,
+                                 cfg2);
+    const auto cold2 = serve_one(server, w.request(0));
+    EXPECT_FALSE(cold2.cache_hit);
+    const auto hit = serve_one(server, w.request(0));
+    EXPECT_TRUE(hit.cache_hit);
+    EXPECT_EQ(hit.batch_size, 0);
+    EXPECT_TRUE(hit.verified);
+    // Hit == recompute, and both == the 1-thread recompute: the cache
+    // rides on (and re-pins) kernel batch/thread invariance.
+    expect_frames_bitwise(cold2.frames, cold1);
+    expect_frames_bitwise(hit.frames, cold1);
+    ASSERT_EQ(hit.verdict.mean_residual, cold2.verdict.mean_residual);
+    ASSERT_EQ(hit.verdict.max_residual, cold2.verdict.max_residual);
+    ASSERT_EQ(hit.verdict.pass, cold2.verdict.pass);
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.cache_hits, 1u);
+    EXPECT_EQ(stats.cache_inserts, 1u);
+  }
+
+  par::ThreadPool::global().resize(prev_pool);
+}
+
+TEST(ForecastCache, PrefixResumeMatchesFullRolloutBitwise) {
+  auto& w = CacheWorld::instance();
+  const int episodes = 2;
+  // Full-chain reference (frames and verdict), computed cold.
+  std::vector<data::CenterFields> ref = core::rollout(
+      *w.model, w.spec, w.norm, w.window(0, episodes), episodes);
+  core::MassVerifier verifier(w.grid, /*threshold=*/10.0);
+  std::vector<data::CenterFields> seq;
+  // The server anchors verification on denormalized_copy(window.front()),
+  // not the raw archive frame — match it for the bitwise verdict compare.
+  seq.push_back(data::denormalized_copy(w.fields_norm[0], w.norm));
+  for (const auto& f : ref) seq.push_back(f);
+  const auto ref_verdict = verifier.check_sequence(seq, 1800.0);
+
+  serve::ForecastServer server({{w.model.get(), w.spec}}, w.norm, &w.grid,
+                               w.config());
+  // Warm with the 1-episode prefix, then ask for the 2-episode chain.
+  const auto prefix = serve_one(server, w.request(0, 1));
+  EXPECT_FALSE(prefix.cache_hit);
+  const auto resumed = serve_one(server, w.request(0, episodes));
+  EXPECT_FALSE(resumed.cache_hit);
+  EXPECT_EQ(resumed.resumed_frames, w.spec.T);
+  ASSERT_EQ(resumed.frames.size(), static_cast<size_t>(episodes * w.spec.T));
+  expect_frames_bitwise(resumed.frames, ref);
+  // The extended verdict must be bitwise the single-pass verdict.
+  ASSERT_TRUE(resumed.verified);
+  ASSERT_EQ(resumed.verdict.mean_residual, ref_verdict.mean_residual);
+  ASSERT_EQ(resumed.verdict.max_residual, ref_verdict.max_residual);
+  ASSERT_EQ(resumed.verdict.pass, ref_verdict.pass);
+
+  auto stats = server.stats();
+  EXPECT_EQ(stats.cache_prefix_hits, 1u);
+  // The resumed chain was itself admitted under its full key: asking for
+  // the chain again is now an exact hit.
+  const auto hit = serve_one(server, w.request(0, episodes));
+  EXPECT_TRUE(hit.cache_hit);
+  expect_frames_bitwise(hit.frames, ref);
+}
+
+TEST(ForecastCache, LruEvictionOrderAndExactByteAccounting) {
+  auto& w = CacheWorld::instance();
+  const uint64_t one = entry_bytes(w.spec, 1);
+  serve::CachePolicy policy;
+  policy.max_bytes = 2 * one;  // room for exactly two entries
+  serve::ForecastCache cache(policy);
+
+  core::VerificationResult verdict;
+  verdict.pass = true;
+  auto result_frames = [&](size_t start) {
+    // Any finite frames work as a stand-in payload.
+    return std::vector<data::CenterFields>(
+        w.fields.begin() + static_cast<ptrdiff_t>(start + 1),
+        w.fields.begin() + static_cast<ptrdiff_t>(start + 4));
+  };
+  cache.insert(0, 0, w.spec, w.window(0), result_frames(0), verdict, true);
+  EXPECT_EQ(cache.stats().bytes, one);
+  cache.insert(0, 0, w.spec, w.window(1), result_frames(1), verdict, true);
+  EXPECT_EQ(cache.stats().bytes, 2 * one);
+  EXPECT_EQ(cache.stats().entries, 2u);
+
+  // Touch entry 0 so entry 1 is the LRU victim of the next insert.
+  EXPECT_TRUE(cache.probe(0, 0, w.spec, w.window(0)).hit);
+  cache.insert(0, 0, w.spec, w.window(2), result_frames(2), verdict, true);
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.bytes, 2 * one);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_TRUE(cache.probe(0, 0, w.spec, w.window(0)).hit);
+  EXPECT_FALSE(cache.probe(0, 0, w.spec, w.window(1)).hit);  // evicted
+  EXPECT_TRUE(cache.probe(0, 0, w.spec, w.window(2)).hit);
+
+  // Version mismatch is a miss: bumping ModelSlot::version invalidates.
+  EXPECT_FALSE(cache.probe(0, 1, w.spec, w.window(0)).hit);
+
+  // An entry larger than the whole budget is refused, not thrashed.
+  serve::CachePolicy tiny;
+  tiny.max_bytes = one - 1;
+  serve::ForecastCache small(tiny);
+  small.insert(0, 0, w.spec, w.window(0), result_frames(0), verdict, true);
+  EXPECT_EQ(small.stats().entries, 0u);
+  EXPECT_EQ(small.stats().rejected, 1u);
+
+  // clear() drops content but keeps cumulative counters.
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ForecastCache, TtlExpiresEntriesAtProbeTime) {
+  auto& w = CacheWorld::instance();
+  serve::CachePolicy policy;
+  policy.ttl_us = 1000;  // 1 ms
+  serve::ForecastCache cache(policy);
+  core::VerificationResult verdict;
+  verdict.pass = true;
+  std::vector<data::CenterFields> frames(
+      w.fields.begin() + 1, w.fields.begin() + 1 + w.spec.T);
+  cache.insert(0, 0, w.spec, w.window(0), frames, verdict, true);
+  EXPECT_TRUE(cache.probe(0, 0, w.spec, w.window(0)).hit);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(cache.probe(0, 0, w.spec, w.window(0)).hit);
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.expirations, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+}
+
+TEST(ForecastCache, FaultedAndFallbackResultsAreNeverAdmitted) {
+  auto& w = CacheWorld::instance();
+  FaultGuard guard;
+  serve::ServerConfig cfg = w.config();
+  cfg.fallback = serve::FallbackContext{w.tides, w.params};
+  serve::ForecastServer server({{w.model.get(), w.spec}}, w.norm, &w.grid,
+                               cfg);
+
+  // A NaN-poisoned episode fails verification, falls back to the
+  // numerical model — and that result must never enter the cache.
+  util::FaultInjector::instance().install("rollout.step:nan@1x1");
+  const auto faulted = serve_one(server, w.request(0));
+  EXPECT_TRUE(faulted.fallback);
+  util::FaultInjector::instance().clear();
+  EXPECT_EQ(server.stats().cache_inserts, 0u);
+  // Re-asking must recompute (miss), not serve the fallback frames.
+  const auto clean = serve_one(server, w.request(0));
+  EXPECT_FALSE(clean.cache_hit);
+  EXPECT_FALSE(clean.fallback);
+  EXPECT_EQ(server.stats().cache_inserts, 1u);
+
+  // Direct-API last line of defense: an unverified non-finite payload is
+  // rejected even if a buggy caller tries to admit it.
+  serve::ForecastCache cache(serve::CachePolicy{});
+  std::vector<data::CenterFields> poisoned(
+      w.fields.begin() + 1, w.fields.begin() + 1 + w.spec.T);
+  poisoned[0].u[0] = std::numeric_limits<float>::quiet_NaN();
+  cache.insert(0, 0, w.spec, w.window(0), poisoned,
+               core::VerificationResult{}, /*verified=*/false);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().rejected, 1u);
+}
+
+TEST(ForecastCache, HitPathAllocatesNothing) {
+  if (!tensor::pool_enabled()) {
+    GTEST_SKIP() << "pool disabled (COASTAL_DISABLE_POOL): every tensor is "
+                    "a real allocation by design";
+  }
+  auto& w = CacheWorld::instance();
+  serve::ForecastServer server({{w.model.get(), w.spec}}, w.norm, &w.grid,
+                               w.config());
+  // Fill, then warm the hit path once (promise/future plumbing and the
+  // probe's scratch vectors are plain memory, not tracked tensor heap).
+  serve_one(server, w.request(0));
+  const auto warm = serve_one(server, w.request(0));
+  ASSERT_TRUE(warm.cache_hit);
+  const uint64_t before = tensor::alloc_stats().total_allocs;
+  for (int i = 0; i < 8; ++i) {
+    const auto hit = serve_one(server, w.request(0));
+    ASSERT_TRUE(hit.cache_hit);
+  }
+  const uint64_t after = tensor::alloc_stats().total_allocs;
+  EXPECT_EQ(after, before)
+      << "cache hits must not touch the tensor heap: the stored frames "
+         "live in pooled Storage and are copied into plain vectors";
+}

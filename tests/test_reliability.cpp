@@ -613,3 +613,86 @@ TEST(Reliability, ChaosBurstCompletesEveryRequest) {
   // The hung thread stays parked until shutdown; it must not have served.
   EXPECT_GE(util::FaultInjector::instance().parked(), 1);
 }
+
+TEST(Reliability, WarmCacheChaosBurstNeverServesPoisonedEntries) {
+  auto& w = ReliabilityWorld::instance();
+  FaultGuard guard;
+  serve::ServerConfig cfg = reliable_config(w);
+  cfg.workers = 2;
+  cfg.batch.max_batch = 4;
+  cfg.batch.max_wait_us = 2000;
+  cfg.reliability.retry.max_attempts = 4;
+  cfg.reliability.retry.backoff_us = 200;
+  // Keep the breaker out of the way: degraded mode bypasses the cache by
+  // design (its own pin lives in test_cache), and this test is about what
+  // the chaos run is allowed to *admit*.
+  cfg.reliability.breaker.enabled = false;
+  serve::ForecastServer server({{w.model.get(), w.spec}}, w.norm, &w.grid,
+                               cfg);
+
+  // Clean serial references for every window, then warm the cache with
+  // the first kWarm of them — all with the injector disarmed.
+  constexpr size_t kWindows = 10, kWarm = 5;
+  std::vector<std::vector<data::CenterFields>> ref(kWindows);
+  for (size_t c = 0; c < kWindows; ++c) ref[c] = w.serial_episode(c);
+  for (size_t c = 0; c < kWarm; ++c) {
+    auto f = server.submit(w.request(c));
+    ASSERT_TRUE(f.has_value());
+    serve::ForecastResult r = f->get();
+    EXPECT_FALSE(r.fallback);
+    expect_frames_bitwise(r.frames, ref[c]);
+  }
+  ASSERT_EQ(server.stats().cache_inserts, kWarm);
+
+  // Chaos burst against the warm cache: heavy NaN poisoning plus
+  // transient forward throws, over duplicates of the warm windows and
+  // never-seen cold windows alike.  No hang is scheduled, so with the
+  // fallback configured every single future must resolve with a value.
+  util::FaultInjector::instance().install(
+      "serve.forward:throw@0.1;rollout.step:nan@0.3", 7);
+  constexpr size_t kRounds = 4;
+  std::vector<std::future<serve::ForecastResult>> futures;
+  std::vector<size_t> starts;
+  for (size_t round = 0; round < kRounds; ++round) {
+    for (size_t c = 0; c < kWindows; ++c) {
+      auto f = server.submit(w.request(c));
+      ASSERT_TRUE(f.has_value());
+      futures.push_back(std::move(*f));
+      starts.push_back(c);
+    }
+  }
+  size_t hits = 0;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(120)),
+              std::future_status::ready)
+        << "every request must complete under cache + chaos";
+    serve::ForecastResult r = futures[i].get();
+    ASSERT_EQ(r.frames.size(), 3u);
+    for (const auto& fr : r.frames) {
+      for (float v : fr.zeta) ASSERT_TRUE(std::isfinite(v));
+      for (float v : fr.u) ASSERT_TRUE(std::isfinite(v));
+    }
+    if (r.cache_hit) {
+      // A hit bypasses every fault site, so it must be the clean bytes;
+      // a poisoned admission could only surface right here.
+      EXPECT_FALSE(r.fallback);
+      expect_frames_bitwise(r.frames, ref[starts[i]]);
+      ++hits;
+    }
+  }
+  // The warm windows' duplicates never touch the surrogate at all.
+  EXPECT_GE(hits, kRounds * kWarm);
+  EXPECT_EQ(server.stats().failed, 0u);
+
+  // Post-chaos, every window — whether it was cached cleanly mid-chaos or
+  // fell back and was (correctly) never admitted — serves the clean
+  // reference bytes.
+  util::FaultInjector::instance().clear();
+  for (size_t c = 0; c < kWindows; ++c) {
+    auto f = server.submit(w.request(c));
+    ASSERT_TRUE(f.has_value());
+    serve::ForecastResult r = f->get();
+    EXPECT_FALSE(r.fallback);
+    expect_frames_bitwise(r.frames, ref[c]);
+  }
+}

@@ -430,6 +430,124 @@ TEST(ShardedForecast, TwoRanksCoupleThroughHalosAndReduceOneVerdict) {
               std::max(1e-15, serial.max_residual * 1e-7));
 }
 
+TEST(BatchedInput, DirectPackMatchesConcatOfSamplesBitwise) {
+  // The serving fix pinned here: writing the stacked batch tensors
+  // directly (make_batched_input) must produce exactly the bytes the old
+  // per-request make_sample + concat path produced — same packers, same
+  // offsets, no target tensors.
+  auto& w = ServeWorld::instance();
+  constexpr size_t kB = 3;
+  std::vector<std::span<const data::CenterFields>> windows;
+  for (size_t b = 0; b < kB; ++b) {
+    windows.emplace_back(w.fields_norm.data() + b, 4);
+  }
+  const data::BatchedInput batched = data::make_batched_input(
+      w.spec, windows);
+
+  std::vector<tensor::Tensor> vols, surfs;
+  for (size_t b = 0; b < kB; ++b) {
+    data::Sample s = data::make_sample(w.spec, windows[b]);
+    tensor::Shape vs = s.volume.shape(), ss = s.surface.shape();
+    tensor::Shape bvs{1}, bss{1};
+    bvs.insert(bvs.end(), vs.begin(), vs.end());
+    bss.insert(bss.end(), ss.begin(), ss.end());
+    vols.push_back(s.volume.reshape(bvs));
+    surfs.push_back(s.surface.reshape(bss));
+  }
+  const tensor::Tensor vol = tensor::concat(vols, 0);
+  const tensor::Tensor surf = tensor::concat(surfs, 0);
+
+  ASSERT_EQ(batched.volume.shape(), vol.shape());
+  ASSERT_EQ(batched.surface.shape(), surf.shape());
+  for (int64_t i = 0; i < vol.numel(); ++i) {
+    ASSERT_EQ(batched.volume.data()[static_cast<size_t>(i)],
+              vol.data()[static_cast<size_t>(i)])
+        << "volume idx " << i;
+  }
+  for (int64_t i = 0; i < surf.numel(); ++i) {
+    ASSERT_EQ(batched.surface.data()[static_cast<size_t>(i)],
+              surf.data()[static_cast<size_t>(i)])
+        << "surface idx " << i;
+  }
+}
+
+TEST(ForecastServer, RandomizedCacheSchedulerFuzzBitwiseSerial) {
+  // Randomized scheduler + cache interleaving: seeded request streams mix
+  // duplicates, prefix-extensions, and two model slots with different
+  // episode lengths.  Whatever batches form and whatever the cache hits,
+  // every response must be bitwise equal to a serial no-cache replay
+  // (computed up front via core::rollout).
+  auto& w = ServeWorld::instance();
+  data::SampleSpec spec2 =
+      data::make_spec(20, 20, 6, /*T=*/2, /*multiple_hw=*/4, /*multiple_d=*/2);
+  Rng mrng(11);
+  core::SurrogateModel model2(model_config(spec2), mrng);
+
+  struct Kind {
+    int slot;
+    size_t start;
+    int episodes;
+  };
+  // Slot 0 chains extend slot-0 singles at the same start (prefix reuse);
+  // slot 1 exercises a different T so mixed specs never share a batch.
+  const std::vector<Kind> kinds = {
+      {0, 0, 1}, {0, 1, 1}, {0, 2, 1}, {0, 0, 2}, {0, 1, 2},
+      {1, 0, 1}, {1, 3, 1}, {1, 0, 2}, {1, 2, 3},
+  };
+  std::vector<std::vector<data::CenterFields>> refs(kinds.size());
+  for (size_t k = 0; k < kinds.size(); ++k) {
+    const Kind& kd = kinds[k];
+    const data::SampleSpec& spec = kd.slot == 0 ? w.spec : spec2;
+    core::SurrogateModel& model = kd.slot == 0 ? *w.model : model2;
+    std::span<const data::CenterFields> window(
+        w.fields_norm.data() + kd.start,
+        static_cast<size_t>(kd.episodes * spec.T) + 1);
+    refs[k] = core::rollout(model, spec, w.norm, window, kd.episodes);
+  }
+
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    SCOPED_TRACE(::testing::Message() << "failing fuzz seed: " << seed);
+    Rng rng(seed);
+    serve::ServerConfig cfg;
+    cfg.workers = 2;
+    cfg.batch.max_batch = 4;
+    cfg.batch.max_wait_us = static_cast<int64_t>(rng.uniform_index(3000));
+    cfg.threshold = 10.0;
+    serve::ForecastServer server({{w.model.get(), w.spec}, {&model2, spec2}},
+                                 w.norm, &w.grid, cfg);
+    std::vector<std::pair<size_t, std::future<serve::ForecastResult>>>
+        inflight;
+    for (int i = 0; i < 48; ++i) {
+      const size_t k = rng.uniform_index(kinds.size());
+      const Kind& kd = kinds[k];
+      serve::ForecastRequest r;
+      r.model_id = kd.slot;
+      const data::SampleSpec& spec = kd.slot == 0 ? w.spec : spec2;
+      const size_t frames = static_cast<size_t>(kd.episodes * spec.T) + 1;
+      r.window.assign(
+          w.fields_norm.begin() + static_cast<ptrdiff_t>(kd.start),
+          w.fields_norm.begin() + static_cast<ptrdiff_t>(kd.start + frames));
+      auto f = server.submit(std::move(r));
+      ASSERT_TRUE(f.has_value());
+      inflight.emplace_back(k, std::move(*f));
+      // Occasionally let the queue drain so later duplicates hit the
+      // cache instead of coalescing in flight.
+      if (rng.uniform() < 0.25) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    }
+    for (auto& [k, f] : inflight) {
+      serve::ForecastResult r = f.get();
+      EXPECT_TRUE(r.verified);
+      EXPECT_FALSE(r.fallback);
+      expect_frames_bitwise(r.frames, refs[k]);
+    }
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.served, 48u);
+    EXPECT_EQ(stats.failed, 0u);
+  }
+}
+
 TEST(ForecastServer, SteadyStateServingAllocatesNothing) {
   if (!tensor::pool_enabled()) {
     GTEST_SKIP() << "pool disabled (COASTAL_DISABLE_POOL): every tensor is "
@@ -441,6 +559,10 @@ TEST(ForecastServer, SteadyStateServingAllocatesNothing) {
   cfg.batch.max_batch = 4;
   cfg.batch.max_wait_us = 100000;
   cfg.threshold = 10.0;
+  // This pin measures the *forward* path; with the cache on, repeated
+  // rounds would be served from cache instead (that path has its own
+  // zero-alloc pin in test_cache.cpp).
+  cfg.cache.enabled = false;
   serve::ForecastServer server({{w.model.get(), w.spec}}, w.norm, &w.grid,
                                cfg);
   auto round = [&] {
