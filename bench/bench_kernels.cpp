@@ -15,6 +15,8 @@
 #include "core/window4d.hpp"
 #include "nn/attention.hpp"
 #include "nn/optimizer.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "ocean/bathymetry.hpp"
 #include "ocean/solver.hpp"
 #include "parallel/decomposition.hpp"
@@ -518,6 +520,51 @@ static void BM_ServeCached(benchmark::State& state, int mode) {
 BENCHMARK_CAPTURE(BM_ServeCached, cold, 0)->UseRealTime();
 BENCHMARK_CAPTURE(BM_ServeCached, warm, 1)->UseRealTime();
 BENCHMARK_CAPTURE(BM_ServeCached, prefix, 2)->UseRealTime();
+
+static void BM_ServeObserved(benchmark::State& state, bool obs_on) {
+  // BM_ServeThroughput/108 with the observability layer armed (stage
+  // profiler + full-rate tracing + registry counters) vs disarmed — the
+  // pairing quantifies the instrumentation overhead on the serving hot
+  // path.  Budget: /on must stay within 2% of /off (docs/observability.md);
+  // both variants are bench_diff --ignore'd because the pairing itself,
+  // not the trajectory, is the assertion.
+  auto& w = ServeBenchWorld::instance();
+  serve::ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.batch.max_batch = 8;
+  cfg.batch.max_wait_us = 20000;
+  cfg.queue_capacity = 64;
+  cfg.verify = false;
+  cfg.cache.enabled = false;  // forward path, as in BM_ServeThroughput
+  cfg.obs.profile_stages = obs_on;
+  cfg.obs.trace.enabled = obs_on;
+  cfg.obs.trace.sample_rate = 1.0;
+  {
+    serve::ForecastServer server({{w.model.get(), w.spec}}, w.norm, nullptr,
+                                 cfg);
+    std::vector<std::future<serve::ForecastResult>> futures;
+    futures.reserve(ServeBenchWorld::kTrace);
+    for (auto _ : state) {
+      futures.clear();
+      for (int i = 0; i < ServeBenchWorld::kTrace; ++i) {
+        serve::ForecastRequest req;
+        const auto win = w.window(i);
+        req.window.assign(win.begin(), win.end());
+        auto f = server.submit(std::move(req));
+        if (f) futures.push_back(std::move(*f));
+      }
+      for (auto& f : futures) benchmark::DoNotOptimize(f.get());
+    }
+  }
+  // Disarm the process-wide profiler/recorder so later benches measure
+  // their own configuration, not this one's.
+  coastal::obs::StageProfiler::instance().set_enabled(false);
+  coastal::obs::TraceRecorder::instance().configure(coastal::obs::TraceConfig{});
+  coastal::obs::TraceRecorder::instance().clear();
+  state.SetItemsProcessed(state.iterations() * ServeBenchWorld::kTrace);
+}
+BENCHMARK_CAPTURE(BM_ServeObserved, off, false)->UseRealTime();
+BENCHMARK_CAPTURE(BM_ServeObserved, on, true)->UseRealTime();
 
 static void BM_SolverStep(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -16,11 +16,17 @@
 ///   forecast_server --faults 'rollout.step:nan@1x4;serve.worker:hang@1x1'
 ///
 /// which arms the retry/watchdog/breaker machinery and extends the
-/// dashboard with the reliability counters and per-site fault stats.
+/// dashboard with the registry's reliability and fault-site metrics.
+///
+/// Observability: `--metrics <path>` writes the full Prometheus text
+/// exposition (server + cache + reliability + fault sites + stage
+/// profile) on exit; `--trace <path>` enables per-request tracing and
+/// writes the JSON span trees (render with tools/trace_view.py).
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <random>
 #include <string>
 #include <thread>
@@ -28,6 +34,7 @@
 #include "core/rollout.hpp"
 #include "core/trainer.hpp"
 #include "data/dataset.hpp"
+#include "obs/trace.hpp"
 #include "ocean/archive.hpp"
 #include "ocean/bathymetry.hpp"
 #include "serve/server.hpp"
@@ -42,11 +49,20 @@ int main(int argc, char** argv) {
   util::set_log_level(util::LogLevel::kWarn);
 
   std::string fault_schedule;
+  std::string metrics_path;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
       fault_schedule = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--faults <schedule>]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--faults <schedule>] [--metrics <path>] "
+                   "[--trace <path>]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -138,6 +154,12 @@ int main(int argc, char** argv) {
   scfg.threshold = 8e-5;
   scfg.snapshot_dt = acfg.interval_seconds;
   scfg.fallback = serve::FallbackContext{tides, params};
+  if (!trace_path.empty()) {
+    // Trace every request: the run is small, so sampling would just
+    // leave holes in the dumped span trees.
+    scfg.obs.trace.enabled = true;
+    scfg.obs.trace.sample_rate = 1.0;
+  }
   if (!fault_schedule.empty()) {
     // Chaos runs arm the full reliability stack: a second worker so a
     // hang doesn't serialize everything, retries for transient throws,
@@ -184,6 +206,9 @@ int main(int argc, char** argv) {
   for (auto& t : clients) t.join();
   const double served_s = served_timer.seconds();
   const auto stats = server.stats();
+  // Capture the exposition while the server is live so queue-depth and
+  // breaker gauges reflect the run, not the drained post-shutdown state.
+  const std::string exposition = server.metrics_text();
   server.shutdown();
 
   // --- dashboard -----------------------------------------------------------
@@ -211,27 +236,25 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
   if (!fault_schedule.empty()) {
-    std::printf("\n-- reliability --\n");
-    std::printf("%-28s %10llu\n", "failed (typed errors)",
-                static_cast<unsigned long long>(stats.failed));
-    std::printf("%-28s %10llu\n", "retries",
-                static_cast<unsigned long long>(stats.retries));
-    std::printf("%-28s %10llu\n", "degraded (breaker open)",
-                static_cast<unsigned long long>(stats.degraded));
-    std::printf("%-28s %10llu\n", "worker lost",
-                static_cast<unsigned long long>(stats.worker_lost));
-    std::printf("%-28s %10llu\n", "worker restarts",
-                static_cast<unsigned long long>(stats.worker_restarts));
-    std::printf("%-28s %10llu\n", "breaker trips",
-                static_cast<unsigned long long>(stats.breaker_trips));
-    std::printf("fault sites (hits/fires):");
-    for (const auto& [site, st] : util::FaultInjector::instance().stats()) {
-      std::printf("  %s:%llu/%llu", site.c_str(),
-                  static_cast<unsigned long long>(st.hits),
-                  static_cast<unsigned long long>(st.fires));
-    }
-    std::printf("\n");
+    // The reliability story — failed/retries/degraded/worker-lost
+    // counters, breaker state, and per-site fault stats — now lives in
+    // the metrics registry; print the exposition instead of a bespoke
+    // dashboard.  Cumulative fault-site stats survive clear().
+    std::printf("\n-- metrics exposition (reliability run) --\n%s",
+                exposition.c_str());
     util::FaultInjector::instance().clear();
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    out << exposition;
+    std::printf("metrics exposition written to %s\n", metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    out << obs::TraceRecorder::instance().dump_json();
+    std::printf("trace span trees written to %s (render with "
+                "tools/trace_view.py)\n",
+                trace_path.c_str());
   }
   std::printf("\nserial one-at-a-time: %.2f s   served: %.2f s   (%.2fx)\n",
               serial_s, served_s, serial_s / served_s);

@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "core/decode.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/fault.hpp"
 
@@ -36,10 +38,22 @@ std::vector<data::CenterFields> forecast_episode(
   // here (the cheap point), a `nan` poisons the decoded output below —
   // modeling a surrogate that silently produced garbage.
   const util::FaultAction fa = COASTAL_FAULT_POINT("rollout.step");
-  data::Sample sample = make_sample(spec, window);
-  if (ic_normalized) overwrite_initial_condition(spec, sample, *ic_normalized);
-  SurrogateOutput out = model.forward_sample(sample, false);
-  auto frames = decode_prediction(spec, out, norm);
+  data::Sample sample = [&] {
+    obs::ScopedStage stage(obs::Stage::kPack);
+    obs::ScopedSpan span("pack");
+    data::Sample s = make_sample(spec, window);
+    if (ic_normalized) overwrite_initial_condition(spec, s, *ic_normalized);
+    return s;
+  }();
+  SurrogateOutput out = [&] {
+    obs::ScopedStage stage(obs::Stage::kForward);
+    obs::ScopedSpan span("model.forward");
+    return model.forward_sample(sample, false);
+  }();
+  auto frames = [&] {
+    obs::ScopedStage stage(obs::Stage::kDecode);
+    return decode_prediction(spec, out, norm);
+  }();
   if (fa == util::FaultAction::kNan && !frames.empty()) {
     poison_fields(frames.front());
   }

@@ -1,0 +1,328 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace coastal::obs {
+
+namespace detail {
+
+unsigned shard_index() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kCellShards;
+  return slot;
+}
+
+void atomic_add(std::atomic<double>& a, double delta) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + delta,
+                                  std::memory_order_relaxed,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+HistogramSpec HistogramSpec::latency_us() {
+  HistogramSpec s;
+  s.scale = Scale::kGeometric;
+  s.buckets = 64;
+  s.anchor = 1.0;
+  s.buckets_per_octave = 4.0;
+  return s;
+}
+
+HistogramSpec HistogramSpec::linear(int buckets, double lo, double width) {
+  HistogramSpec s;
+  s.scale = Scale::kLinear;
+  s.buckets = buckets;
+  s.lo = lo;
+  s.width = width;
+  return s;
+}
+
+int HistogramSpec::bucket(double v) const {
+  if (scale == Scale::kGeometric) {
+    // Same double expressions as the server's historic latency_bucket:
+    // with anchor == 1 the division and clamp are bit-identical.
+    if (v <= anchor) return 0;
+    const int idx =
+        static_cast<int>(buckets_per_octave * std::log2(v / anchor));
+    return std::min(std::max(idx, 0), buckets - 1);
+  }
+  if (v < lo) return 0;
+  const int idx = static_cast<int>((v - lo) / width);
+  return std::min(std::max(idx, 0), buckets - 1);
+}
+
+double HistogramSpec::representative(int idx) const {
+  if (scale == Scale::kGeometric) {
+    return anchor * std::exp2((idx + 0.5) / buckets_per_octave);
+  }
+  return lo + idx * width;
+}
+
+double HistogramSpec::upper_edge(int idx) const {
+  if (idx >= buckets - 1) return std::numeric_limits<double>::infinity();
+  if (scale == Scale::kGeometric) {
+    return anchor * std::exp2((idx + 1) / buckets_per_octave);
+  }
+  return lo + (idx + 1) * width;
+}
+
+double HistogramSnapshot::percentile(double q) const {
+  // The server's historic percentile fold, verbatim: first bucket whose
+  // cumulative count reaches q*total, reported at its midpoint.
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    cum += static_cast<double>(counts[i]);
+    if (cum >= target) return spec.representative(static_cast<int>(i));
+  }
+  return spec.representative(spec.buckets - 1);
+}
+
+Histogram::Histogram(const HistogramSpec& spec)
+    : spec_(spec),
+      counts_(detail::kCellShards * static_cast<size_t>(spec.buckets)) {}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.spec = spec_;
+  s.counts.assign(static_cast<size_t>(spec_.buckets), 0);
+  for (unsigned sh = 0; sh < detail::kCellShards; ++sh) {
+    for (int b = 0; b < spec_.buckets; ++b) {
+      s.counts[static_cast<size_t>(b)] +=
+          counts_[sh * static_cast<unsigned>(spec_.buckets) +
+                  static_cast<unsigned>(b)]
+              .load(std::memory_order_relaxed);
+    }
+    s.sum += sums_[sh].v.load(std::memory_order_relaxed);
+  }
+  for (uint64_t c : s.counts) s.total += c;
+  return s;
+}
+
+void Histogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  for (auto& s : sums_) s.v.store(0.0, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Find-or-append over a Named<> vector; registration is idempotent so
+/// a subsystem constructed twice (e.g. two servers sharing a registry in
+/// the future) reuses the instrument instead of splitting its counts.
+template <typename Vec, typename Make>
+auto* find_or_add(Vec& v, const std::string& name, const std::string& help,
+                  const std::string& lk, const std::string& lv, Make make) {
+  for (auto& e : v) {
+    if (e.name == name && e.label_key == lk && e.label_value == lv) {
+      return &e.entry;
+    }
+  }
+  v.push_back({name, help, lk, lv, make()});
+  return &v.back().entry;
+}
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+std::string fmt_double(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string label_clause(const std::string& k, const std::string& v) {
+  if (k.empty()) return "";
+  return "{" + k + "=\"" + v + "\"}";
+}
+
+}  // namespace
+
+Counter* Registry::counter(const std::string& name, const std::string& help,
+                           const std::string& label_key,
+                           const std::string& label_value) {
+  std::lock_guard<std::mutex> lock(m_);
+  return find_or_add(counters_, name, help, label_key, label_value,
+                     [] { return std::make_unique<Counter>(); })
+      ->get();
+}
+
+Gauge* Registry::gauge(const std::string& name, const std::string& help,
+                       const std::string& label_key,
+                       const std::string& label_value) {
+  std::lock_guard<std::mutex> lock(m_);
+  return find_or_add(gauges_, name, help, label_key, label_value,
+                     [] { return std::make_unique<Gauge>(); })
+      ->get();
+}
+
+void Registry::gauge_fn(const std::string& name, const std::string& help,
+                        std::function<double()> fn,
+                        const std::string& label_key,
+                        const std::string& label_value) {
+  std::lock_guard<std::mutex> lock(m_);
+  find_or_add(gauge_fns_, name, help, label_key, label_value,
+              [&] { return std::move(fn); });
+}
+
+Histogram* Registry::histogram(const std::string& name,
+                               const std::string& help,
+                               const HistogramSpec& spec,
+                               const std::string& label_key,
+                               const std::string& label_value) {
+  std::lock_guard<std::mutex> lock(m_);
+  return find_or_add(hists_, name, help, label_key, label_value,
+                     [&] { return std::make_unique<Histogram>(spec); })
+      ->get();
+}
+
+void Registry::collector(Collector fn) {
+  std::lock_guard<std::mutex> lock(m_);
+  collectors_.push_back(std::move(fn));
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  // Exclusive against Group holders first (no half-applied stat groups),
+  // then the registration mutex for the instrument lists.
+  auto group_lock = exclusive();
+  RegistrySnapshot out;
+  std::vector<Collector> collectors;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    out.counters.reserve(counters_.size());
+    for (const auto& e : counters_) {
+      out.counters.push_back(
+          {e.name, e.help, e.label_key, e.label_value, e.entry->value()});
+    }
+    out.gauges.reserve(gauges_.size() + gauge_fns_.size());
+    for (const auto& e : gauges_) {
+      out.gauges.push_back(
+          {e.name, e.help, e.label_key, e.label_value, e.entry->value()});
+    }
+    for (const auto& e : gauge_fns_) {
+      out.gauges.push_back(
+          {e.name, e.help, e.label_key, e.label_value, e.entry()});
+    }
+    out.histograms.reserve(hists_.size());
+    for (const auto& e : hists_) {
+      HistogramSnapshot h = e.entry->snapshot();
+      h.name = e.name;
+      h.help = e.help;
+      h.label_key = e.label_key;
+      h.label_value = e.label_value;
+      out.histograms.push_back(std::move(h));
+    }
+    collectors = collectors_;
+  }
+  for (const auto& fn : collectors) fn(out);
+  return out;
+}
+
+std::string RegistrySnapshot::to_prometheus() const {
+  std::string out;
+  out.reserve(4096);
+  // One # HELP / # TYPE header per family; entries of one family (same
+  // name, different labels) are emitted consecutively by construction.
+  std::string last_family;
+  auto header = [&](const std::string& name, const std::string& help,
+                    const char* type) {
+    if (name == last_family) return;
+    last_family = name;
+    out += "# HELP " + name + " " + help + "\n";
+    out += "# TYPE " + name + " " + std::string(type) + "\n";
+  };
+  for (const auto& c : counters) {
+    header(c.name, c.help, "counter");
+    out += c.name + label_clause(c.label_key, c.label_value) + " " +
+           std::to_string(c.value) + "\n";
+  }
+  for (const auto& g : gauges) {
+    header(g.name, g.help, "gauge");
+    out += g.name + label_clause(g.label_key, g.label_value) + " " +
+           fmt_double(g.value) + "\n";
+  }
+  for (const auto& h : histograms) {
+    header(h.name, h.help, "histogram");
+    uint64_t cum = 0;
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      cum += h.counts[i];
+      std::string labels = "le=\"" +
+                           fmt_double(h.spec.upper_edge(static_cast<int>(i))) +
+                           "\"";
+      if (!h.label_key.empty()) {
+        labels = h.label_key + "=\"" + h.label_value + "\"," + labels;
+      }
+      out += h.name + "_bucket{" + labels + "} " + std::to_string(cum) + "\n";
+    }
+    out += h.name + "_sum" + label_clause(h.label_key, h.label_value) + " " +
+           fmt_double(h.sum) + "\n";
+    out += h.name + "_count" + label_clause(h.label_key, h.label_value) +
+           " " + std::to_string(h.total) + "\n";
+  }
+  return out;
+}
+
+std::string RegistrySnapshot::to_json() const {
+  std::string out = "{\n  \"counters\": [";
+  auto name_labels = [&](const std::string& name, const std::string& lk,
+                         const std::string& lv) {
+    out += "\"name\": \"";
+    append_json_escaped(out, name);
+    out += "\"";
+    if (!lk.empty()) {
+      out += ", \"labels\": {\"";
+      append_json_escaped(out, lk);
+      out += "\": \"";
+      append_json_escaped(out, lv);
+      out += "\"}";
+    }
+  };
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out += i ? ",\n    {" : "\n    {";
+    name_labels(counters[i].name, counters[i].label_key,
+                counters[i].label_value);
+    out += ", \"value\": " + std::to_string(counters[i].value) + "}";
+  }
+  out += "\n  ],\n  \"gauges\": [";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    out += i ? ",\n    {" : "\n    {";
+    name_labels(gauges[i].name, gauges[i].label_key, gauges[i].label_value);
+    out += ", \"value\": " + fmt_double(gauges[i].value) + "}";
+  }
+  out += "\n  ],\n  \"histograms\": [";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const auto& h = histograms[i];
+    out += i ? ",\n    {" : "\n    {";
+    name_labels(h.name, h.label_key, h.label_value);
+    out += ", \"count\": " + std::to_string(h.total);
+    out += ", \"sum\": " + fmt_double(h.sum);
+    out += ", \"le\": [";
+    for (size_t b = 0; b < h.counts.size(); ++b) {
+      if (b) out += ", ";
+      const double edge = h.spec.upper_edge(static_cast<int>(b));
+      out += std::isinf(edge) ? "null" : fmt_double(edge);
+    }
+    out += "], \"counts\": [";
+    for (size_t b = 0; b < h.counts.size(); ++b) {
+      if (b) out += ", ";
+      out += std::to_string(h.counts[b]);
+    }
+    out += "]}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace coastal::obs

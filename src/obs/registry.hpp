@@ -1,0 +1,277 @@
+#pragma once
+
+/// \file registry.hpp
+/// Central metrics registry: counters, gauges, and histograms with
+/// Prometheus-style text exposition and a JSON dump.
+///
+/// Before this layer every subsystem grew its own counter island —
+/// ForecastServer kept 13 counters and a hand-rolled latency histogram
+/// behind one stats mutex, the forecast cache eight more behind its own,
+/// util::fault a per-site map behind a third — and nothing could present
+/// them as one operations surface.  The registry turns each island into
+/// pre-registered instruments on a shared substrate that the ROADMAP-1
+/// socket front end can later serve verbatim (text or JSON).
+///
+/// Hot-path contract: an increment is ONE relaxed atomic add on a
+/// per-thread-sharded cache-line-private cell — no lock, no allocation,
+/// no aggregation.  Aggregation happens only at snapshot time, which
+/// sums the shards.  A histogram observe is one bucket add plus one
+/// CAS-loop sum add on the same shard.
+///
+/// Snapshot atomicity: writers that must commit several instruments as
+/// one unit (e.g. the server's claim → stats → resolve fan-out) hold a
+/// Registry::Group — a *shared* lock, so groups never serialize against
+/// each other — while snapshot()/stats() take the exclusive side.  A
+/// snapshot therefore never observes half of a stat group, which is
+/// exactly the guarantee the old per-server stats mutex provided, minus
+/// the writer-writer serialization.
+///
+/// Bucket math note: HistogramSpec::latency_us() reproduces the server's
+/// historic 64-bucket geometric latency histogram (ratio 2^(1/4),
+/// anchored at 1 µs) bit-for-bit — bucket selection, representative
+/// midpoints, and the percentile fold are the same double expressions,
+/// so ServerStatsSnapshot percentiles are unchanged by the migration.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+namespace coastal::obs {
+
+namespace detail {
+
+/// Number of per-thread counter shards.  Threads hash onto slots via a
+/// monotone thread index, so with <= kCellShards live threads every
+/// thread owns a private cache line.
+inline constexpr unsigned kCellShards = 16;
+
+struct alignas(64) CounterCell {
+  std::atomic<int64_t> v{0};
+};
+
+struct alignas(64) SumCell {
+  std::atomic<double> v{0.0};
+};
+
+/// The calling thread's stable shard slot.
+unsigned shard_index();
+
+/// fetch_add for atomic<double> via CAS (portable pre-C++20-TS).
+void atomic_add(std::atomic<double>& a, double delta);
+
+}  // namespace detail
+
+/// Monotone event count.  add() accepts negatives only for documented
+/// reversals (the server un-counts a submission the queue rejected).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void inc(int64_t n = 1) {
+    cells_[detail::shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  void add(int64_t n) { inc(n); }
+  int64_t value() const {
+    int64_t total = 0;
+    for (const auto& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  std::array<detail::CounterCell, detail::kCellShards> cells_;
+};
+
+/// Last-writer-wins instantaneous value.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Bucket layout of a histogram.  Two scales cover every historic
+/// histogram in the stack: geometric (latency, stage durations) and
+/// linear (batch-size composition).
+struct HistogramSpec {
+  enum class Scale { kGeometric, kLinear };
+  Scale scale = Scale::kGeometric;
+  int buckets = 64;
+  /// Geometric: values <= anchor land in bucket 0; bucket boundaries
+  /// advance by a factor of 2^(1/buckets_per_octave).
+  double anchor = 1.0;
+  double buckets_per_octave = 4.0;
+  /// Linear: bucket i covers [lo + i*width, lo + (i+1)*width); values
+  /// below lo land in bucket 0, at or above the top edge in the last.
+  double lo = 1.0;
+  double width = 1.0;
+
+  /// The server's historic latency layout: 64 buckets, ratio 2^(1/4),
+  /// anchored at 1 µs (values fed in microseconds).
+  static HistogramSpec latency_us();
+  static HistogramSpec linear(int buckets, double lo, double width);
+
+  int bucket(double v) const;
+  /// Representative (midpoint) value of a bucket, in the observed unit.
+  double representative(int idx) const;
+  /// Inclusive upper bound of a bucket (Prometheus `le` edge); +inf for
+  /// the last bucket.
+  double upper_edge(int idx) const;
+};
+
+struct CounterSnapshot {
+  std::string name;
+  std::string help;
+  std::string label_key;  ///< at most one label pair (site=, stage=)
+  std::string label_value;
+  int64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  std::string help;
+  std::string label_key;
+  std::string label_value;
+  double value = 0.0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::string help;
+  std::string label_key;
+  std::string label_value;
+  HistogramSpec spec;
+  std::vector<uint64_t> counts;  ///< per bucket, aggregated over shards
+  uint64_t total = 0;
+  double sum = 0.0;
+  /// Representative value of the bucket where the cumulative count first
+  /// reaches q*total (the server's historic percentile fold); 0 when
+  /// empty.
+  double percentile(double q) const;
+};
+
+/// One aggregated view of every instrument plus every collector's
+/// contribution — the payload both exporters serialize.
+struct RegistrySnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Prometheus text exposition format (one family per metric name).
+  std::string to_prometheus() const;
+  /// JSON with the same content, arrays keyed "counters"/"gauges"/
+  /// "histograms".
+  std::string to_json() const;
+};
+
+/// Sharded histogram: per-shard bucket counts plus a per-shard sum.
+class Histogram {
+ public:
+  explicit Histogram(const HistogramSpec& spec);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(double v) {
+    const unsigned s = detail::shard_index();
+    const int b = spec_.bucket(v);
+    counts_[s * static_cast<unsigned>(spec_.buckets) +
+            static_cast<unsigned>(b)]
+        .fetch_add(1, std::memory_order_relaxed);
+    detail::atomic_add(sums_[s].v, v);
+  }
+
+  const HistogramSpec& spec() const { return spec_; }
+  /// Aggregated snapshot (name/help/label left empty for the owner to
+  /// fill).
+  HistogramSnapshot snapshot() const;
+  /// Zero every shard (tests and the stage profiler's reset).
+  void reset();
+
+ private:
+  HistogramSpec spec_;
+  std::vector<std::atomic<uint64_t>> counts_;  ///< kCellShards * buckets
+  std::array<detail::SumCell, detail::kCellShards> sums_;
+};
+
+/// Instrument registry.  Registration returns stable pointers (the
+/// handles the hot path increments); re-registering the same
+/// (name, label) returns the existing instrument.  Instances are
+/// independent — each ForecastServer owns one — and a standalone
+/// subsystem (e.g. a ForecastCache built without a server) may own a
+/// private registry of its own.
+class Registry {
+ public:
+  using Collector = std::function<void(RegistrySnapshot&)>;
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter* counter(const std::string& name, const std::string& help,
+                   const std::string& label_key = "",
+                   const std::string& label_value = "");
+  Gauge* gauge(const std::string& name, const std::string& help,
+               const std::string& label_key = "",
+               const std::string& label_value = "");
+  /// Gauge evaluated lazily at snapshot time (queue depth, cache bytes).
+  void gauge_fn(const std::string& name, const std::string& help,
+                std::function<double()> fn, const std::string& label_key = "",
+                const std::string& label_value = "");
+  Histogram* histogram(const std::string& name, const std::string& help,
+                       const HistogramSpec& spec,
+                       const std::string& label_key = "",
+                       const std::string& label_value = "");
+  /// Snapshot-time hook appending externally owned metrics (breaker
+  /// state, fault-site stats, stage profiler) to the snapshot.
+  void collector(Collector fn);
+
+  RegistrySnapshot snapshot() const;
+
+  /// RAII shared lock for writers committing a multi-instrument stat
+  /// group.  Groups run concurrently with each other; snapshot() (and
+  /// ForecastServer::stats()) takes the exclusive side, so a reader
+  /// never observes half a group.
+  class Group {
+   public:
+    explicit Group(const Registry& r) : lock_(r.group_m_) {}
+
+   private:
+    std::shared_lock<std::shared_mutex> lock_;
+  };
+
+  /// The exclusive side of Group, for compatibility views assembled
+  /// outside snapshot() (ForecastServer::stats()).
+  std::unique_lock<std::shared_mutex> exclusive() const {
+    return std::unique_lock<std::shared_mutex>(group_m_);
+  }
+
+ private:
+  template <typename Entry>
+  struct Named {
+    std::string name, help, label_key, label_value;
+    Entry entry;
+  };
+
+  mutable std::mutex m_;  ///< registration + collector list
+  mutable std::shared_mutex group_m_;
+  std::vector<Named<std::unique_ptr<Counter>>> counters_;
+  std::vector<Named<std::unique_ptr<Gauge>>> gauges_;
+  std::vector<Named<std::function<double()>>> gauge_fns_;
+  std::vector<Named<std::unique_ptr<Histogram>>> hists_;
+  std::vector<Collector> collectors_;
+};
+
+}  // namespace coastal::obs

@@ -259,10 +259,13 @@ void World::barrier_wait() {
 void World::push_message(int dest, int source, int tag,
                          std::span<const float> data) {
   Mailbox& box = *mailboxes_[static_cast<size_t>(dest)];
+  // Stamp the sender's ambient trace id on the envelope; push_message
+  // runs on the sending rank's thread, so this reads the right binding.
+  const uint64_t trace = obs::current_trace();
   {
     std::lock_guard<std::mutex> lock(box.mutex);
     box.slots[{source, tag}].push(
-        Message{std::vector<float>(data.begin(), data.end())});
+        Message{std::vector<float>(data.begin(), data.end()), trace});
   }
   box.cv.notify_all();
 }
@@ -293,6 +296,9 @@ bool World::pop_message_for(int self, int source, int tag,
   auto& q = box.slots[key];
   Message msg = std::move(q.front());
   q.pop();
+  // First traced envelope binds this rank's thread to the sender's trace
+  // (no-op if already bound or the envelope is untraced).
+  obs::adopt_trace(msg.trace);
   COASTAL_CHECK_MSG(msg.payload.size() == out.size(),
                     "recv: message length " << msg.payload.size()
                                             << " != buffer " << out.size());

@@ -36,6 +36,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace coastal::par {
@@ -131,6 +132,10 @@ class World {
 
   struct Message {
     std::vector<float> payload;
+    /// Trace envelope: the sender's ambient trace id (0 = untraced).
+    /// Receivers adopt it if they have no trace bound, so a traced
+    /// request's halo exchanges land in one span tree across ranks.
+    uint64_t trace = 0;
   };
   struct Mailbox {
     std::mutex mutex;

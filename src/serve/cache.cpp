@@ -74,7 +74,40 @@ struct ForecastCache::Entry {
   std::list<uint64_t>::iterator lru_it;
 };
 
-ForecastCache::ForecastCache(const CachePolicy& policy) : policy_(policy) {}
+ForecastCache::ForecastCache(const CachePolicy& policy,
+                             obs::Registry* registry)
+    : policy_(policy) {
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<obs::Registry>();
+    registry = owned_registry_.get();
+  }
+  hits_ = registry->counter("coastal_cache_hits_total",
+                            "Exact cache hits (served with no forward)");
+  prefix_hits_ =
+      registry->counter("coastal_cache_prefix_hits_total",
+                        "Chains resumed from a cached prefix entry");
+  misses_ = registry->counter("coastal_cache_misses_total", "Cache misses");
+  inserts_ =
+      registry->counter("coastal_cache_inserts_total", "Entries admitted");
+  evictions_ = registry->counter(
+      "coastal_cache_evictions_total",
+      "LRU and collision-displacement removals");
+  expirations_ =
+      registry->counter("coastal_cache_expired_total", "TTL removals");
+  rejected_ = registry->counter(
+      "coastal_cache_rejected_total",
+      "Inserts refused (non-finite payload or oversized entry)");
+  registry->gauge_fn("coastal_cache_bytes",
+                     "Accounted payload bytes currently cached", [this] {
+                       std::lock_guard<std::mutex> lock(mutex_);
+                       return static_cast<double>(bytes_);
+                     });
+  registry->gauge_fn("coastal_cache_entries", "Entries currently cached",
+                     [this] {
+                       std::lock_guard<std::mutex> lock(mutex_);
+                       return static_cast<double>(entries_.size());
+                     });
+}
 ForecastCache::~ForecastCache() = default;
 
 CachePolicy cache_policy_from_env(CachePolicy base) {
@@ -216,7 +249,7 @@ ForecastCache::Probe ForecastCache::probe(
     Entry& entry = *it->second;
     if (expired(entry)) {
       erase_locked(digest);
-      ++expirations_;
+      expirations_->inc();
       continue;
     }
     if (static_cast<size_t>(entry.episodes) != p ||
@@ -228,13 +261,13 @@ ForecastCache::Probe ForecastCache::probe(
     out.hit = exact;
     out.prefix = !exact;
     if (exact) {
-      ++hits_;
+      hits_->inc();
     } else {
-      ++prefix_hits_;
+      prefix_hits_->inc();
     }
     return out;
   }
-  ++misses_;
+  misses_->inc();
   return out;
 }
 
@@ -266,7 +299,7 @@ void ForecastCache::insert(int model_id, int version,
   // verified, the verdict's pass already certified finiteness upstream.
   if (!verified && !frames_finite(frames)) {
     std::lock_guard<std::mutex> lock(mutex_);
-    ++rejected_;
+    rejected_->inc();
     return;
   }
 
@@ -304,7 +337,7 @@ void ForecastCache::insert(int model_id, int version,
 
   std::lock_guard<std::mutex> lock(mutex_);
   if (entry_bytes > policy_.max_bytes) {
-    ++rejected_;  // would evict the whole cache and still not fit
+    rejected_->inc();  // would evict the whole cache and still not fit
     return;
   }
   if (auto it = entries_.find(digest); it != entries_.end()) {
@@ -313,16 +346,16 @@ void ForecastCache::insert(int model_id, int version,
       return;
     }
     erase_locked(digest);  // collision displacement
-    ++evictions_;
+    evictions_->inc();
   }
   lru_.push_front(digest);
   entry->lru_it = lru_.begin();
   bytes_ += entry_bytes;
   entries_.emplace(digest, std::move(entry));
-  ++inserts_;
+  inserts_->inc();
   while (bytes_ > policy_.max_bytes) {
     erase_locked(lru_.back());
-    ++evictions_;
+    evictions_->inc();
   }
 }
 
@@ -336,13 +369,13 @@ void ForecastCache::clear() {
 CacheStatsSnapshot ForecastCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   CacheStatsSnapshot s;
-  s.hits = hits_;
-  s.prefix_hits = prefix_hits_;
-  s.misses = misses_;
-  s.inserts = inserts_;
-  s.evictions = evictions_;
-  s.expirations = expirations_;
-  s.rejected = rejected_;
+  s.hits = static_cast<uint64_t>(hits_->value());
+  s.prefix_hits = static_cast<uint64_t>(prefix_hits_->value());
+  s.misses = static_cast<uint64_t>(misses_->value());
+  s.inserts = static_cast<uint64_t>(inserts_->value());
+  s.evictions = static_cast<uint64_t>(evictions_->value());
+  s.expirations = static_cast<uint64_t>(expirations_->value());
+  s.rejected = static_cast<uint64_t>(rejected_->value());
   s.bytes = bytes_;
   s.entries = entries_.size();
   return s;

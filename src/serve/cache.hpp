@@ -58,6 +58,7 @@
 #include "core/verification.hpp"
 #include "data/center_fields.hpp"
 #include "data/sample.hpp"
+#include "obs/registry.hpp"
 #include "tensor/storage.hpp"
 
 namespace coastal::serve {
@@ -94,7 +95,13 @@ struct CacheStatsSnapshot {
 
 class ForecastCache {
  public:
-  explicit ForecastCache(const CachePolicy& policy);
+  /// `registry` (non-owning, may be null) hosts the cache's counters and
+  /// gauges — ForecastServer passes its own so one snapshot reports
+  /// server and cache metrics together.  A standalone cache (tests,
+  /// direct use) owns a private registry instead; either way the
+  /// counters feed CacheStatsSnapshot identically.
+  explicit ForecastCache(const CachePolicy& policy,
+                         obs::Registry* registry = nullptr);
   ~ForecastCache();
   ForecastCache(const ForecastCache&) = delete;
   ForecastCache& operator=(const ForecastCache&) = delete;
@@ -162,8 +169,17 @@ class ForecastCache {
   std::unordered_map<uint64_t, std::unique_ptr<Entry>> entries_;
   std::list<uint64_t> lru_;  ///< front = most recently used
   uint64_t bytes_ = 0;
-  uint64_t hits_ = 0, prefix_hits_ = 0, misses_ = 0, inserts_ = 0,
-           evictions_ = 0, expirations_ = 0, rejected_ = 0;
+  /// Engaged only when no external registry was given; counters below
+  /// point into it (or into the caller's registry) either way.  Every
+  /// increment happens under mutex_, so stats() reads are exact.
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* prefix_hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  obs::Counter* inserts_ = nullptr;
+  obs::Counter* evictions_ = nullptr;
+  obs::Counter* expirations_ = nullptr;
+  obs::Counter* rejected_ = nullptr;
 };
 
 }  // namespace coastal::serve

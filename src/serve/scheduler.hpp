@@ -33,6 +33,7 @@
 
 #include "core/verification.hpp"
 #include "data/center_fields.hpp"
+#include "obs/trace.hpp"
 
 namespace coastal::serve {
 
@@ -51,6 +52,9 @@ struct ForecastRequest {
   /// fan-out (a computed result past its deadline is still an error —
   /// the client stopped waiting).
   int64_t timeout_us = 0;
+  /// Per-request trace context; stamped by ForecastServer::submit() when
+  /// tracing is enabled and the request is sampled (id 0 = untraced).
+  obs::TraceContext trace;
 };
 
 /// What the client's future resolves to.

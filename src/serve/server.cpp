@@ -10,6 +10,7 @@
 #include "core/rollout.hpp"
 #include "data/sample.hpp"
 #include "nn/layers.hpp"
+#include "obs/profile.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tensor/kernels.hpp"
 #include "tensor/storage.hpp"
@@ -28,17 +29,52 @@ double seconds_between(clock::time_point a, clock::time_point b) {
       .count();
 }
 
-/// Geometric latency bucket (ratio 2^(1/4), anchored at 1 µs).
-int latency_bucket(double seconds, int nbuckets) {
-  const double us = seconds * 1e6;
-  if (us <= 1.0) return 0;
-  const int idx = static_cast<int>(4.0 * std::log2(us));
-  return std::min(std::max(idx, 0), nbuckets - 1);
+/// Record one span against trace `tid` — no-op when the request is
+/// untraced (tid 0, the common case) or tracing is globally off.  Times
+/// are µs on the obs::now_us() timeline.
+void trace_span(uint64_t tid, const char* stage, int64_t t0, int64_t t1,
+                uint32_t flags = 0, int code = -1, int64_t extra = 0) {
+  if (tid == 0) return;
+  obs::TraceRecorder& rec = obs::TraceRecorder::instance();
+  if (!rec.enabled()) return;
+  obs::TraceSpan s;
+  s.trace_id = tid;
+  s.start_us = t0;
+  s.end_us = t1;
+  s.stage = stage;
+  s.flags = flags;
+  s.code = code;
+  s.extra = extra;
+  rec.record(s);
 }
 
-/// Representative latency (ms) of a bucket's midpoint.
-double bucket_ms(int idx) {
-  return std::exp2((idx + 0.5) / 4.0) * 1e-3;
+/// ForecastErrorCode of a typed error, -1 for anything else — the span
+/// `code` tag.
+int error_code_of(const std::exception_ptr& e) {
+  if (!e) return -1;
+  try {
+    std::rethrow_exception(e);
+  } catch (const ForecastError& fe) {
+    return static_cast<int>(fe.code());
+  } catch (...) {
+  }
+  return -1;
+}
+
+/// Fold one served request into the throughput span (first assembled /
+/// last resolved, µs): CAS-claim the first, fetch-max the last.
+void note_serve_span(std::atomic<int64_t>& first_us,
+                     std::atomic<int64_t>& last_us,
+                     std::chrono::steady_clock::time_point assembled,
+                     std::chrono::steady_clock::time_point done) {
+  const int64_t a = obs::to_us(assembled);
+  const int64_t d = obs::to_us(done);
+  int64_t expect = -1;
+  first_us.compare_exchange_strong(expect, a, std::memory_order_acq_rel);
+  int64_t cur = last_us.load(std::memory_order_relaxed);
+  while (cur < d &&
+         !last_us.compare_exchange_weak(cur, d, std::memory_order_acq_rel)) {
+  }
 }
 
 /// Bitwise window equality — the identical-request coalescing predicate.
@@ -61,18 +97,6 @@ bool same_window(const std::vector<data::CenterFields>& a,
     }
   }
   return true;
-}
-
-double percentile_ms(const std::array<uint64_t, 64>& hist, uint64_t total,
-                     double q) {
-  if (total == 0) return 0.0;
-  const double target = q * static_cast<double>(total);
-  double cum = 0.0;
-  for (int i = 0; i < 64; ++i) {
-    cum += static_cast<double>(hist[static_cast<size_t>(i)]);
-    if (cum >= target) return bucket_ms(i);
-  }
-  return bucket_ms(63);
 }
 
 bool fields_finite(const data::CenterFields& f) {
@@ -165,7 +189,7 @@ ForecastServer::ForecastServer(std::vector<ModelSlot> models,
   // Deployment knobs (COASTAL_CACHE*) override the configured policy; the
   // effective policy is stored back so config().cache tells the truth.
   config_.cache = cache_policy_from_env(config_.cache);
-  cache_ = std::make_unique<ForecastCache>(config_.cache);
+  cache_ = std::make_unique<ForecastCache>(config_.cache, &registry_);
   COASTAL_CHECK_MSG(!config_.fallback || (grid_ && config_.verify),
                     "the ROMS fallback requires a grid and verify=true");
   for (size_t i = 0; i < models_.size(); ++i) {
@@ -173,6 +197,88 @@ ForecastServer::ForecastServer(std::vector<ModelSlot> models,
     breakers_.push_back(
         std::make_unique<CircuitBreaker>(config_.reliability.breaker));
   }
+  // Observability wiring (docs/observability.md).  Env overrides apply
+  // on top of the configured knobs, and the effective values are stored
+  // back so config().obs tells the truth.
+  config_.obs.trace = obs::trace_config_from_env(config_.obs.trace);
+  obs::TraceRecorder::instance().configure(config_.obs.trace);
+  obs::StageProfiler::instance().set_enabled(
+      obs::profile_from_env(config_.obs.profile_stages));
+  c_submitted_ = registry_.counter("coastal_serve_submitted_total",
+                                   "Requests accepted by submit()");
+  c_served_ = registry_.counter("coastal_serve_served_total",
+                                "Requests resolved with a result");
+  c_rejected_ = registry_.counter("coastal_serve_rejected_total",
+                                  "Requests refused by queue backpressure");
+  c_fallbacks_ = registry_.counter(
+      "coastal_serve_fallbacks_total",
+      "Requests whose frames came from the numerical fallback");
+  c_batches_ = registry_.counter("coastal_serve_batches_total",
+                                 "Coalesced forwards executed");
+  c_coalesced_ = registry_.counter(
+      "coastal_serve_coalesced_total",
+      "Requests served by sharing an identical batch entry");
+  c_failed_ = registry_.counter("coastal_serve_failed_total",
+                                "Requests resolved with a typed error");
+  c_invalid_ = registry_.counter("coastal_serve_invalid_total",
+                                 "NaN/Inf windows refused at submit()");
+  c_deadline_ = registry_.counter("coastal_serve_deadline_expired_total",
+                                  "Requests failed kDeadlineExceeded");
+  c_retries_ = registry_.counter("coastal_serve_retries_total",
+                                 "Forward retry attempts performed");
+  c_degraded_ = registry_.counter(
+      "coastal_serve_degraded_total",
+      "Requests served in breaker-degraded (numerical) mode");
+  c_worker_lost_ = registry_.counter(
+      "coastal_serve_worker_lost_total",
+      "In-flight requests failed by the watchdog");
+  c_worker_restarts_ = registry_.counter("coastal_serve_worker_restarts_total",
+                                         "Replacement workers spawned");
+  h_latency_ = registry_.histogram(
+      "coastal_serve_latency_us",
+      "End-to-end request latency in microseconds",
+      obs::HistogramSpec::latency_us());
+  h_batch_ = registry_.histogram(
+      "coastal_serve_batch_size",
+      "Distinct episodes per coalesced forward",
+      obs::HistogramSpec::linear(ServerStatsSnapshot::kBatchHistBuckets, 1.0,
+                                 1.0));
+  registry_.gauge_fn("coastal_serve_queue_depth",
+                     "Requests currently queued",
+                     [this] { return static_cast<double>(queue_.depth()); });
+  // Snapshot-time collectors: breaker state, fault-site totals, and the
+  // stage profiler ride along in every snapshot without owning cells in
+  // this registry.
+  registry_.collector([this](obs::RegistrySnapshot& out) {
+    uint64_t trips = 0;
+    int open = 0;
+    for (const auto& b : breakers_) {
+      trips += b->trips();
+      if (b->open()) ++open;
+    }
+    out.counters.push_back({"coastal_serve_breaker_trips_total",
+                            "Closed->open breaker transitions, all slots",
+                            "", "", static_cast<int64_t>(trips)});
+    out.gauges.push_back({"coastal_serve_breaker_open_slots",
+                          "Slots currently open or half-open", "", "",
+                          static_cast<double>(open)});
+    for (const auto& [site, st] :
+         util::FaultInjector::instance().cumulative_stats()) {
+      out.counters.push_back({"coastal_fault_hits_total",
+                              "Armed fault-point evaluations since start",
+                              "site", site, static_cast<int64_t>(st.hits)});
+      out.counters.push_back({"coastal_fault_fires_total",
+                              "Fault-point fires since start", "site", site,
+                              static_cast<int64_t>(st.fires)});
+      if (st.released > 0) {
+        out.counters.push_back(
+            {"coastal_fault_hang_releases_total",
+             "Parked hang threads woken by release_hangs()/clear()", "site",
+             site, static_cast<int64_t>(st.released)});
+      }
+    }
+    obs::StageProfiler::instance().collect(out);
+  });
   if (config_.kernel_threads > 0) {
     // Deployment-time kernel sizing: the pool and the kernel chunking
     // config move together so dispatch decisions never drift from the
@@ -264,10 +370,7 @@ std::optional<std::future<ForecastResult>> ForecastServer::submit(
     // are caller bugs, not data quality.
     for (size_t t = 0; t < request.window.size(); ++t) {
       if (!fields_finite(request.window[t])) {
-        {
-          std::lock_guard<std::mutex> lock(stats_mutex_);
-          ++invalid_;
-        }
+        c_invalid_->inc();
         std::promise<ForecastResult> p;
         p.set_exception(typed_error(
             ForecastErrorCode::kInvalidInput,
@@ -283,21 +386,24 @@ std::optional<std::future<ForecastResult>> ForecastServer::submit(
     pending.deadline =
         pending.enqueued + std::chrono::microseconds(request.timeout_us);
   }
+  // Trace admission: one relaxed load when tracing is off, a sampled id
+  // draw when on.  The id rides the request through the pipeline.
+  request.trace.id = obs::TraceRecorder::instance().begin_trace();
   pending.request = std::move(request);
   auto future = pending.promise.get_future();
   // Count the submission *before* the (potentially blocking) push: a fast
   // worker can pop and serve the request while this thread is still here,
   // and a stats() snapshot must never show served > submitted.
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++submitted_;
+    obs::Registry::Group g(registry_);
+    c_submitted_->inc();
   }
   const bool accepted =
       queue_.push(pending, config_.overflow == ServerConfig::Overflow::kBlock);
   if (!accepted) {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    --submitted_;
-    ++rejected_;
+    obs::Registry::Group g(registry_);
+    c_submitted_->add(-1);
+    c_rejected_->inc();
     return std::nullopt;
   }
   return future;
@@ -361,6 +467,19 @@ void ForecastServer::serve_batch(
   if (state->retired.load(std::memory_order_acquire)) return;
 
   const auto t_assembled = clock::now();
+  const int64_t us_assembled = obs::to_us(t_assembled);
+  const bool profiling = obs::StageProfiler::instance().enabled();
+  // Queue-wait telemetry, per request: the span belongs to the request's
+  // trace, the histogram sample to the global queue-stage profile.
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const int64_t q_us = us_assembled - obs::to_us(batch[i].enqueued);
+    if (profiling) {
+      obs::StageProfiler::instance().record(
+          obs::Stage::kQueue, static_cast<double>(std::max<int64_t>(q_us, 0)));
+    }
+    trace_span(batch[i].request.trace.id, "queue", us_assembled - q_us,
+               us_assembled);
+  }
   const int model_id = batch.front().request.model_id;
   auto& slot = models_[static_cast<size_t>(model_id)];
   const data::SampleSpec& spec = slot.spec;
@@ -381,7 +500,7 @@ void ForecastServer::serve_batch(
       deliver_error(*inflight, i,
                     typed_error(ForecastErrorCode::kDeadlineExceeded,
                                 "expired before service began"),
-                    &deadline_expired_);
+                    c_deadline_);
     }
   }
 
@@ -437,10 +556,23 @@ void ForecastServer::serve_batch(
   const bool use_cache = cache_->policy().enabled &&
                          mode == CircuitBreaker::Mode::kNormal;
   if (use_cache) {
+    obs::ScopedStage stage(obs::Stage::kCacheProbe);
     for (size_t u = 0; u < uniques.size(); ++u) {
       probes[u] = cache_->probe(model_id, slot.version, spec,
                                 batch[uniques[u]].request.window);
     }
+  }
+  // Triage spans close here: queue pop -> breaker admission -> cache
+  // probe, tagged with what the probe found for this request's entry.
+  const int64_t us_triaged = obs::now_us();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (dead[i]) continue;
+    uint32_t tflags = 0;
+    if (probes[owner[i]].hit) tflags |= obs::kCacheHit;
+    else if (probes[owner[i]].prefix) tflags |= obs::kPrefixResume;
+    if (breaker_degraded) tflags |= obs::kDegraded;
+    trace_span(batch[i].request.trace.id, "triage", us_assembled, us_triaged,
+               tflags);
   }
   // Exact hits deliver immediately: no forward, no re-verification — by
   // bitwise rollout determinism the stored frames ARE what a recompute
@@ -449,8 +581,8 @@ void ForecastServer::serve_batch(
     if (!probes[u].hit) continue;
     done[u] = 1;
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      coalesced_ += static_cast<uint64_t>(sharers[u] - 1);
+      obs::Registry::Group g(registry_);
+      c_coalesced_->add(sharers[u] - 1);
     }
     int remaining = sharers[u];
     for (size_t i = 0; i < batch.size(); ++i) {
@@ -462,7 +594,7 @@ void ForecastServer::serve_batch(
         deliver_error(*inflight, i,
                       typed_error(ForecastErrorCode::kDeadlineExceeded,
                                   "expired before delivery"),
-                      &deadline_expired_);
+                      c_deadline_);
         continue;
       }
       std::promise<ForecastResult>* p = claim(*inflight, i);
@@ -476,12 +608,19 @@ void ForecastServer::serve_batch(
       result.verified = probes[u].verified;
       result.queue_seconds = seconds_between(batch[i].enqueued, t_assembled);
       result.service_seconds = seconds_between(t_assembled, t_done);
-      record_latency(seconds_between(batch[i].enqueued, t_done));
+      note_serve_span(first_serve_us_, last_serve_us_, t_assembled, t_done);
       {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++served_;
-        if (first_serve_ == clock::time_point{}) first_serve_ = t_assembled;
-        last_serve_ = t_done;
+        obs::Registry::Group g(registry_);
+        h_latency_->observe(seconds_between(batch[i].enqueued, t_done) * 1e6);
+        c_served_->inc();
+      }
+      const uint64_t tid = batch[i].request.trace.id;
+      if (tid != 0) {
+        const int64_t td = obs::to_us(t_done);
+        // No forward span, by construction: the cache served this one.
+        trace_span(tid, "resolve", td, td, obs::kCacheHit);
+        trace_span(tid, "request", obs::to_us(batch[i].enqueued), td,
+                   obs::kCacheHit);
       }
       p->set_value(std::move(result));
     }
@@ -507,6 +646,11 @@ void ForecastServer::serve_batch(
   bool forward_ok = false;
   bool deadline_abort = false;
   std::exception_ptr forward_error;
+  // Pack/forward intervals and retry count for the batch route's spans
+  // (the chain route records per-entry spans via the ambient binding
+  // inside core::resume_rollout instead).
+  int64_t us_pack0 = 0, us_pack1 = 0, us_fwd0 = 0, us_fwd1 = 0;
+  int fwd_retries = 0;
   if (!breaker_degraded && episodes == 1) {
     // Everything tensor-shaped in this block — the per-request samples,
     // the stacked batch, the forward activations, the batched output —
@@ -525,6 +669,8 @@ void ForecastServer::serve_batch(
       // concat path in tests/test_serve.cpp).
       tensor::Tensor vol, surf;
       {
+        obs::ScopedStage stage(obs::Stage::kPack);
+        us_pack0 = obs::now_us();
         std::vector<std::span<const data::CenterFields>> windows;
         windows.reserve(live.size());
         for (size_t u : live) {
@@ -533,6 +679,7 @@ void ForecastServer::serve_batch(
         data::BatchedInput in = data::make_batched_input(spec, windows);
         vol = std::move(in.volume);
         surf = std::move(in.surface);
+        us_pack1 = obs::now_us();
       }
       state->beat.fetch_add(1, std::memory_order_relaxed);
 
@@ -540,6 +687,7 @@ void ForecastServer::serve_batch(
       const int max_attempts = std::max(1, retry.max_attempts);
       int64_t backoff_us = std::max<int64_t>(0, retry.backoff_us);
       core::SurrogateOutput out;
+      us_fwd0 = obs::now_us();
       for (int attempt = 1; !forward_ok; ++attempt) {
         try {
           // One batch in flight per model (see file comment in
@@ -590,21 +738,25 @@ void ForecastServer::serve_batch(
             deadline_abort = true;
             break;
           }
-          {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
-            ++retries_;
-          }
+          c_retries_->inc();
+          ++fwd_retries;
           std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
           backoff_us = static_cast<int64_t>(
               static_cast<double>(backoff_us) * retry.backoff_mult);
           state->beat.fetch_add(1, std::memory_order_relaxed);
         }
       }
+      us_fwd1 = obs::now_us();
+      if (profiling) {
+        obs::StageProfiler::instance().record(
+            obs::Stage::kForward, static_cast<double>(us_fwd1 - us_fwd0));
+      }
       if (forward_ok) {
         state->beat.fetch_add(1, std::memory_order_relaxed);
         // Per-entry decode: one entry's failure (or injected fault) must
         // not fail sharers of healthy entries — the blast radius stays
         // one episode.
+        obs::ScopedStage decode_stage(obs::Stage::kDecode);
         for (size_t b = 0; b < live.size(); ++b) {
           const size_t u = live[b];
           try {
@@ -634,6 +786,9 @@ void ForecastServer::serve_batch(
     const int max_attempts = std::max(1, retry.max_attempts);
     for (size_t u : live) {
       const auto& window = batch[uniques[u]].request.window;
+      // Ambient binding: the rollout's own "pack"/"model.forward" spans
+      // attach to the entry's exemplar trace (sharers reuse its tree).
+      obs::TraceBinding trace_bind(batch[uniques[u]].request.trace.id);
       const int start_episode = probes[u].prefix ? probes[u].episodes : 0;
       // Cooperative cancel between episode forwards: abort only once
       // every sharer's deadline has passed (nobody left to deliver to).
@@ -690,7 +845,7 @@ void ForecastServer::serve_batch(
               if (dead[i] || owner[i] != u) continue;
               dead[i] = 1;
               deliver_error(*inflight, i, std::make_exception_ptr(fe),
-                            &deadline_expired_);
+                            c_deadline_);
             }
             done[u] = 1;
           } else {
@@ -702,9 +857,13 @@ void ForecastServer::serve_batch(
             entry_error[u] = e;
             break;
           }
+          c_retries_->inc();
           {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
-            ++retries_;
+            // Zero-length marker in the entry's trace: this chain needed
+            // another forward attempt.
+            const int64_t tr = obs::now_us();
+            trace_span(batch[uniques[u]].request.trace.id, "retry", tr, tr,
+                       obs::kFaultRetry);
           }
           std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
           backoff_us = static_cast<int64_t>(
@@ -718,11 +877,31 @@ void ForecastServer::serve_batch(
     forward_ok = true;
   }
 
+  // Batch-route spans: every traced request in the batch shares the one
+  // pack + forward interval its episode rode in.
+  if (us_fwd1 > 0 || us_pack1 > 0) {
+    uint32_t fflags = fwd_retries > 0 ? obs::kFaultRetry : 0u;
+    int fcode = -1;
+    if (!forward_ok && !deadline_abort) {
+      fflags |= obs::kError;
+      fcode = error_code_of(forward_error);
+    }
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (dead[i]) continue;
+      const uint64_t tid = batch[i].request.trace.id;
+      if (tid == 0) continue;
+      if (us_pack1 > 0) trace_span(tid, "pack", us_pack0, us_pack1);
+      if (us_fwd1 > 0) {
+        trace_span(tid, "forward", us_fwd0, us_fwd1, fflags, fcode, B);
+      }
+    }
+  }
+
   if (deadline_abort) {
     const auto e = typed_error(ForecastErrorCode::kDeadlineExceeded,
                                "expired during forward retries");
     for (size_t i = 0; i < batch.size(); ++i) {
-      if (!dead[i]) deliver_error(*inflight, i, e, &deadline_expired_);
+      if (!dead[i]) deliver_error(*inflight, i, e, c_deadline_);
     }
     return;
   }
@@ -752,12 +931,10 @@ void ForecastServer::serve_batch(
   // client that observes its result also observes the batch that carried
   // it.  Only counted when a forward actually executed.
   if (forward_ok) {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++batches_;
-    coalesced_ += live_sharers - live.size();
-    const int bucket = std::min<int>(
-        static_cast<int>(B), ServerStatsSnapshot::kBatchHistBuckets);
-    ++batch_hist_[static_cast<size_t>(bucket - 1)];
+    obs::Registry::Group g(registry_);
+    c_batches_->inc();
+    c_coalesced_->add(static_cast<int64_t>(live_sharers - live.size()));
+    h_batch_->observe(static_cast<double>(B));
   }
 
   // Per-entry epilogue: verification, fallback, or the numerical route,
@@ -784,10 +961,12 @@ void ForecastServer::serve_batch(
       else if (forward_ok) breaker.record(false);
       continue;
     }
+    const int64_t us_entry0 = obs::now_us();
     try {
       if (numerical_route) {
         // Degraded / salvage: compute the episode with the numerical
         // model — verified by construction, and check_sequence confirms.
+        obs::ScopedStage stage(obs::Stage::kFallback);
         const data::CenterFields current =
             data::denormalized_copy(window.front(), norm_);
         decoded[u] = core::numerical_episode(
@@ -806,6 +985,7 @@ void ForecastServer::serve_batch(
           else if (forward_ok) breaker.record(false);
         }
       } else if (verifier_) {
+        obs::ScopedStage stage(obs::Stage::kVerify);
         const data::CenterFields current = data::denormalized_copy(
             window.front(), norm_);
         if (resumed[u] > 0) {
@@ -882,6 +1062,25 @@ void ForecastServer::serve_batch(
       cache_->insert(model_id, slot.version, spec, window, decoded[u],
                      entry_verdict, entry_verified);
     }
+    // Span tags for this entry's outcome; the verify/fallback interval
+    // closed when the try block above finished.
+    const int64_t us_entry1 = obs::now_us();
+    const char* entry_stage =
+        numerical_route ? "fallback" : (verifier_ ? "verify" : nullptr);
+    uint32_t entry_flags = 0;
+    if (entry_fallback) entry_flags |= obs::kFallback;
+    if (entry_degraded) entry_flags |= obs::kDegraded;
+    if (resumed[u] > 0) entry_flags |= obs::kPrefixResume;
+    if (fwd_retries > 0) entry_flags |= obs::kFaultRetry;
+    if (entry_verified && !entry_verdict.pass) {
+      entry_flags |= obs::kVerifyFailed;
+    }
+    uint32_t verify_flags = entry_flags;
+    if (!numerical_route && entry_fallback) {
+      // The surrogate's verdict failed and the frames were recomputed —
+      // tag the verify span even though the final verdict passed.
+      verify_flags |= obs::kVerifyFailed;
+    }
     int remaining = sharers[u];
     for (size_t i = 0; i < batch.size(); ++i) {
       if (dead[i] || owner[i] != u) continue;
@@ -893,7 +1092,7 @@ void ForecastServer::serve_batch(
         deliver_error(*inflight, i,
                       typed_error(ForecastErrorCode::kDeadlineExceeded,
                                   "expired before delivery"),
-                      &deadline_expired_);
+                      c_deadline_);
         continue;
       }
       std::promise<ForecastResult>* p = claim(*inflight, i);
@@ -910,14 +1109,23 @@ void ForecastServer::serve_batch(
       result.degraded = entry_degraded;
       result.queue_seconds = seconds_between(batch[i].enqueued, t_assembled);
       result.service_seconds = seconds_between(t_assembled, t_done);
-      record_latency(seconds_between(batch[i].enqueued, t_done));
+      note_serve_span(first_serve_us_, last_serve_us_, t_assembled, t_done);
       {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++served_;
-        if (entry_fallback) ++fallbacks_;
-        if (entry_degraded) ++degraded_;
-        if (first_serve_ == clock::time_point{}) first_serve_ = t_assembled;
-        last_serve_ = t_done;
+        obs::Registry::Group g(registry_);
+        h_latency_->observe(seconds_between(batch[i].enqueued, t_done) * 1e6);
+        c_served_->inc();
+        if (entry_fallback) c_fallbacks_->inc();
+        if (entry_degraded) c_degraded_->inc();
+      }
+      const uint64_t tid = batch[i].request.trace.id;
+      if (tid != 0) {
+        const int64_t td = obs::to_us(t_done);
+        if (entry_stage != nullptr) {
+          trace_span(tid, entry_stage, us_entry0, us_entry1, verify_flags);
+        }
+        trace_span(tid, "resolve", td, td, entry_flags);
+        trace_span(tid, "request", obs::to_us(batch[i].enqueued), td,
+                   entry_flags);
       }
       p->set_value(std::move(result));
     }
@@ -986,6 +1194,16 @@ void ForecastServer::watchdog_loop() {
           if (inflight->resolved[i]) continue;
           inflight->resolved[i] = 1;
           orphans.push_back(&inflight->reqs[i].promise);
+          const uint64_t tid = inflight->reqs[i].request.trace.id;
+          if (tid != 0) {
+            const int64_t t1 = obs::now_us();
+            const uint32_t f = obs::kError | obs::kWorkerLost;
+            const int code =
+                static_cast<int>(ForecastErrorCode::kWorkerLost);
+            trace_span(tid, "resolve", t1, t1, f, code);
+            trace_span(tid, "request",
+                       obs::to_us(inflight->reqs[i].enqueued), t1, f, code);
+          }
         }
       }
       bool restarted = false;
@@ -998,10 +1216,10 @@ void ForecastServer::watchdog_loop() {
         }
       }
       {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        worker_lost_ += orphans.size();
-        failed_ += orphans.size();
-        if (restarted) ++worker_restarts_;
+        obs::Registry::Group g(registry_);
+        c_worker_lost_->add(static_cast<int64_t>(orphans.size()));
+        c_failed_->add(static_cast<int64_t>(orphans.size()));
+        if (restarted) c_worker_restarts_->inc();
       }
       for (auto* p : orphans) {
         p->set_exception(typed_error(
@@ -1026,55 +1244,68 @@ std::promise<ForecastResult>* ForecastServer::claim(InFlightBatch& b,
 
 bool ForecastServer::deliver_error(InFlightBatch& b, size_t i,
                                    std::exception_ptr error,
-                                   uint64_t* extra_counter) {
+                                   obs::Counter* extra_counter) {
   std::promise<ForecastResult>* p = claim(b, i);
   if (p == nullptr) return false;
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++failed_;
-    if (extra_counter != nullptr) ++*extra_counter;
+    obs::Registry::Group g(registry_);
+    c_failed_->inc();
+    if (extra_counter != nullptr) extra_counter->inc();
+  }
+  const uint64_t tid = b.reqs[i].request.trace.id;
+  if (tid != 0 && obs::TraceRecorder::instance().enabled()) {
+    const int64_t t1 = obs::now_us();
+    const int code = error_code_of(error);
+    uint32_t flags = obs::kError;
+    if (code == static_cast<int>(ForecastErrorCode::kWorkerLost)) {
+      flags |= obs::kWorkerLost;
+    }
+    trace_span(tid, "resolve", t1, t1, flags, code);
+    trace_span(tid, "request", obs::to_us(b.reqs[i].enqueued), t1, flags,
+               code);
   }
   p->set_exception(std::move(error));
   return true;
 }
 
-void ForecastServer::record_latency(double seconds) {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  ++latency_hist_[static_cast<size_t>(
-      latency_bucket(seconds, kLatencyBuckets))];
-}
-
 ServerStatsSnapshot ForecastServer::stats() const {
   ServerStatsSnapshot s;
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    s.submitted = submitted_;
-    s.served = served_;
-    s.rejected = rejected_;
-    s.fallbacks = fallbacks_;
-    s.batches = batches_;
-    s.coalesced = coalesced_;
-    s.failed = failed_;
-    s.invalid = invalid_;
-    s.deadline_expired = deadline_expired_;
-    s.retries = retries_;
-    s.degraded = degraded_;
-    s.worker_lost = worker_lost_;
-    s.worker_restarts = worker_restarts_;
-    s.batch_hist = batch_hist_;
-    s.queue_depth = queue_.depth();
-    uint64_t total = 0;
-    for (uint64_t c : latency_hist_) total += c;
-    s.p50_ms = percentile_ms(latency_hist_, total, 0.50);
-    s.p95_ms = percentile_ms(latency_hist_, total, 0.95);
-    s.p99_ms = percentile_ms(latency_hist_, total, 0.99);
-    if (batches_ > 0) {
-      s.mean_batch =
-          static_cast<double>(served_) / static_cast<double>(batches_);
+    // The exclusive side of every writer's Registry::Group: no stat
+    // group (claim -> count -> resolve) is ever observed half-committed,
+    // which also makes the claim/stats ordering atomic wrt this reader.
+    const auto lock = registry_.exclusive();
+    s.submitted = static_cast<uint64_t>(c_submitted_->value());
+    s.served = static_cast<uint64_t>(c_served_->value());
+    s.rejected = static_cast<uint64_t>(c_rejected_->value());
+    s.fallbacks = static_cast<uint64_t>(c_fallbacks_->value());
+    s.batches = static_cast<uint64_t>(c_batches_->value());
+    s.coalesced = static_cast<uint64_t>(c_coalesced_->value());
+    s.failed = static_cast<uint64_t>(c_failed_->value());
+    s.invalid = static_cast<uint64_t>(c_invalid_->value());
+    s.deadline_expired = static_cast<uint64_t>(c_deadline_->value());
+    s.retries = static_cast<uint64_t>(c_retries_->value());
+    s.degraded = static_cast<uint64_t>(c_degraded_->value());
+    s.worker_lost = static_cast<uint64_t>(c_worker_lost_->value());
+    s.worker_restarts = static_cast<uint64_t>(c_worker_restarts_->value());
+    const obs::HistogramSnapshot bh = h_batch_->snapshot();
+    for (int i = 0; i < ServerStatsSnapshot::kBatchHistBuckets; ++i) {
+      s.batch_hist[static_cast<size_t>(i)] = bh.counts[static_cast<size_t>(i)];
     }
-    if (served_ > 0 && last_serve_ > first_serve_) {
-      s.throughput_rps = static_cast<double>(served_) /
-                         seconds_between(first_serve_, last_serve_);
+    s.queue_depth = queue_.depth();
+    const obs::HistogramSnapshot lat = h_latency_->snapshot();
+    s.p50_ms = lat.percentile(0.50) * 1e-3;
+    s.p95_ms = lat.percentile(0.95) * 1e-3;
+    s.p99_ms = lat.percentile(0.99) * 1e-3;
+    if (s.batches > 0) {
+      s.mean_batch =
+          static_cast<double>(s.served) / static_cast<double>(s.batches);
+    }
+    const int64_t first = first_serve_us_.load(std::memory_order_acquire);
+    const int64_t last = last_serve_us_.load(std::memory_order_acquire);
+    if (s.served > 0 && first >= 0 && last > first) {
+      s.throughput_rps = static_cast<double>(s.served) /
+                         (static_cast<double>(last - first) * 1e-6);
     }
   }
   for (const auto& b : breakers_) {

@@ -57,11 +57,14 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/surrogate.hpp"
 #include "core/workflow.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "serve/cache.hpp"
 #include "serve/reliability.hpp"
 #include "serve/scheduler.hpp"
@@ -116,6 +119,19 @@ struct ServerConfig {
   /// overrides (COASTAL_CACHE*) are applied at server construction; the
   /// effective policy is visible via config().cache.
   CachePolicy cache;
+
+  /// Observability knobs (docs/observability.md).  Environment overrides
+  /// (COASTAL_PROFILE, COASTAL_TRACE, COASTAL_TRACE_RING) are applied at
+  /// server construction on top of these.
+  struct ObsConfig {
+    /// Feed the global stage profiler's histograms (queue/pack/gemm/
+    /// attention/verify/...) — cheap enough to leave on by default.
+    bool profile_stages = true;
+    /// Per-request span recording; disabled by default (begin_trace()
+    /// then costs one relaxed load per submit).
+    obs::TraceConfig trace;
+  };
+  ObsConfig obs;
 };
 
 /// Aggregated serving metrics; `snapshot()` is safe to call while serving.
@@ -188,6 +204,16 @@ class ForecastServer {
   ServerStatsSnapshot stats() const;
   const ServerConfig& config() const { return config_; }
 
+  /// The server's metrics registry: server counters/histograms, cache
+  /// counters, breaker state, fault-site totals, and stage-profiler
+  /// histograms all snapshot together.  Callers may register additional
+  /// instruments; the registry outlives every component that feeds it.
+  obs::Registry& metrics() { return registry_; }
+  /// Prometheus text exposition of a full registry snapshot.
+  std::string metrics_text() const { return registry_.snapshot().to_prometheus(); }
+  /// JSON dump of the same snapshot.
+  std::string metrics_json() const { return registry_.snapshot().to_json(); }
+
  private:
   /// A popped batch whose promises may be taken over by the watchdog.
   /// All promise resolution goes through deliver_* under `m`, so a hung
@@ -223,11 +249,10 @@ class ForecastServer {
   /// records stats BEFORE resolving the claimed promise — a client that
   /// observes its outcome must also observe it in stats().
   std::promise<ForecastResult>* claim(InFlightBatch& b, size_t i);
-  /// claim() + count into `failed_` (and optionally one more counter)
+  /// claim() + count into the failed counter (and optionally one more)
   /// before setting the exception — the typed-failure fan-out helper.
   bool deliver_error(InFlightBatch& b, size_t i, std::exception_ptr error,
-                     uint64_t* extra_counter = nullptr);
-  void record_latency(double seconds);
+                     obs::Counter* extra_counter = nullptr);
 
   std::vector<ModelSlot> models_;
   /// timed_mutex so a replacement worker can bound its wait on a slot a
@@ -239,6 +264,33 @@ class ForecastServer {
   const ocean::Grid* grid_;
   ServerConfig config_;
   std::optional<core::MassVerifier> verifier_;  ///< engaged when grid_ set
+
+  /// Metrics registry.  Declared BEFORE cache_: the cache registers its
+  /// counters here, so the registry must outlive it.  Mutable because
+  /// stats()/metrics_text() snapshot from const contexts.
+  mutable obs::Registry registry_;
+  // Server instrument handles (registered in the constructor; plain
+  // pointers into registry_-owned storage, valid for the server's life).
+  obs::Counter* c_submitted_ = nullptr;
+  obs::Counter* c_served_ = nullptr;
+  obs::Counter* c_rejected_ = nullptr;
+  obs::Counter* c_fallbacks_ = nullptr;
+  obs::Counter* c_batches_ = nullptr;
+  obs::Counter* c_coalesced_ = nullptr;
+  obs::Counter* c_failed_ = nullptr;
+  obs::Counter* c_invalid_ = nullptr;
+  obs::Counter* c_deadline_ = nullptr;
+  obs::Counter* c_retries_ = nullptr;
+  obs::Counter* c_degraded_ = nullptr;
+  obs::Counter* c_worker_lost_ = nullptr;
+  obs::Counter* c_worker_restarts_ = nullptr;
+  obs::Histogram* h_latency_ = nullptr;  ///< end-to-end latency, µs
+  obs::Histogram* h_batch_ = nullptr;    ///< distinct episodes per forward
+  /// Serving span for throughput_rps, µs since the trace epoch; -1 until
+  /// the first serve (to_us() of the first serve may legitimately be 0).
+  std::atomic<int64_t> first_serve_us_{-1};
+  std::atomic<int64_t> last_serve_us_{-1};
+
   std::unique_ptr<ForecastCache> cache_;  ///< cross-request result reuse
 
   RequestQueue queue_;
@@ -252,19 +304,6 @@ class ForecastServer {
   std::mutex watchdog_mutex_;
   std::condition_variable watchdog_cv_;
   bool watchdog_stop_ = false;
-
-  // Stats: one mutex guards the counters and the log-bucketed latency
-  // histogram (64 geometric buckets, ratio 2^(1/4), from 1 µs).
-  static constexpr int kLatencyBuckets = 64;
-  mutable std::mutex stats_mutex_;
-  uint64_t submitted_ = 0, served_ = 0, rejected_ = 0, fallbacks_ = 0,
-           batches_ = 0, coalesced_ = 0;
-  uint64_t failed_ = 0, invalid_ = 0, deadline_expired_ = 0, retries_ = 0,
-           degraded_ = 0, worker_lost_ = 0, worker_restarts_ = 0;
-  std::array<uint64_t, kLatencyBuckets> latency_hist_{};
-  std::array<uint64_t, ServerStatsSnapshot::kBatchHistBuckets> batch_hist_{};
-  std::chrono::steady_clock::time_point first_serve_{};
-  std::chrono::steady_clock::time_point last_serve_{};
 };
 
 }  // namespace coastal::serve

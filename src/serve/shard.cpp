@@ -5,6 +5,8 @@
 
 #include "core/rollout.hpp"
 #include "core/workflow.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "parallel/communicator.hpp"
 #include "tensor/storage.hpp"
 #include "tensor/tensor.hpp"
@@ -190,6 +192,9 @@ void unpack_strip(const std::vector<float>& buf, const TileExt& t,
 void exchange_ring(par::Comm& comm, const TileExt& t, int halo,
                    data::CenterFields& f, int frame_tag, int64_t timeout_us,
                    std::vector<float>& sendbuf, std::vector<float>& recvbuf) {
+  obs::ScopedStage stage(obs::Stage::kHalo);
+  obs::ScopedSpan span("halo.exchange");
+  span.set_rank(comm.rank());
   for (int dir = 0; dir < 4; ++dir) {
     const int nb = neighbor_of(t, dir);
     if (nb < 0) continue;
@@ -319,10 +324,15 @@ ShardedForecast run_sharded_forecast(
   std::vector<uint64_t> rank_bytes(static_cast<size_t>(ranks), 0);
   std::vector<uint64_t> rank_msgs(static_cast<size_t>(ranks), 0);
 
+  // The caller's ambient trace (if any) rides into the world: rank 0
+  // binds it directly; ranks >= 1 start unbound and adopt the id from
+  // the first traced halo envelope they receive (see communicator.cpp).
+  const uint64_t caller_trace = obs::current_trace();
   par::World world(ranks);
   try {
     world.run([&](par::Comm& comm) {
     const int rank = comm.rank();
+    obs::TraceBinding trace_bind(rank == 0 ? caller_trace : 0);
     const TileExt t = make_tile_ext(rank, pg[0], pg[1], global_spec.src_nx,
                                     global_spec.src_ny, config.halo);
     const data::SampleSpec& tspec = specs[static_cast<size_t>(rank)];

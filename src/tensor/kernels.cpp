@@ -7,6 +7,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "obs/profile.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tensor/storage.hpp"
 
@@ -259,6 +260,7 @@ void gemm_batched(const float* A, const float* B, float* C, int64_t m,
                   const std::vector<int64_t>& a_off,
                   const std::vector<int64_t>& b_off) {
   if (m <= 0 || n <= 0 || nbatch <= 0) return;
+  obs::ScopedStage obs_stage(obs::Stage::kGemm);
   const KernelConfig& cfg = config();
   // Path choice depends only on problem size and config — never on thread
   // count — so serial and parallel runs agree bitwise.
@@ -621,6 +623,7 @@ void attention_fused(const float* Q, const float* K, const float* V, float* O,
                      float scale, const float* mask,
                      const std::vector<int64_t>& mask_off, float* stats) {
   if (nbatch <= 0 || nq <= 0 || nkv <= 0 || d <= 0) return;
+  obs::ScopedStage obs_stage(obs::Stage::kAttention);
   const KernelConfig& cfg = config();
   const int64_t bq = std::max<int64_t>(1, cfg.attn_bq);
   const int64_t bc_max = std::min(std::max<int64_t>(1, cfg.attn_bkv), nkv);
@@ -786,6 +789,7 @@ void attention_fused_backward(const float* Q, const float* K, const float* V,
                               const float* mask,
                               const std::vector<int64_t>& mask_off) {
   if (nbatch <= 0 || nq <= 0 || nkv <= 0 || d <= 0) return;
+  obs::ScopedStage obs_stage(obs::Stage::kAttention);
   const KernelConfig& cfg = config();
   const int64_t bc_max = std::min(std::max<int64_t>(1, cfg.attn_bkv), nkv);
   // Head-dim specialization mirrors the forward (path depends only on d).

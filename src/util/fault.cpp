@@ -48,6 +48,11 @@ struct SiteState {
 struct Registry {
   mutable std::mutex m;
   std::unordered_map<std::string, SiteState> sites;
+  /// Since-process-start totals, guarded by `m`.  install()/clear()
+  /// reset the per-schedule SiteState counters but never this map — the
+  /// registry/dashboard view of "what has fault injection done" must
+  /// survive a chaos test's teardown.
+  std::map<std::string, FaultSiteStats> cumulative;
   uint64_t seed = 0;
 
   // Hang parking.  `release_epoch` advances on release_hangs()/clear();
@@ -219,6 +224,13 @@ std::map<std::string, FaultSiteStats> FaultInjector::stats() const {
   return out;
 }
 
+std::map<std::string, FaultSiteStats> FaultInjector::cumulative_stats()
+    const {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.m);
+  return r.cumulative;
+}
+
 FaultAction FaultInjector::decide_and_act(const char* site) {
   Registry& r = registry();
   FaultAction action = FaultAction::kNone;
@@ -228,7 +240,9 @@ FaultAction FaultInjector::decide_and_act(const char* site) {
     auto it = r.sites.find(site);
     if (it == r.sites.end()) return FaultAction::kNone;
     SiteState& st = it->second;
+    FaultSiteStats& cum = r.cumulative[site];
     const uint64_t hit = st.hits++;
+    ++cum.hits;
     if (st.fires >= st.schedule.max_fires) return FaultAction::kNone;
     // Bernoulli draw, pure function of (seed, site, hit index): the same
     // schedule replayed produces the same firing hit set.
@@ -237,6 +251,7 @@ FaultAction FaultInjector::decide_and_act(const char* site) {
         static_cast<double>(u >> 11) * (1.0 / 9007199254740992.0);
     if (draw >= st.schedule.probability) return FaultAction::kNone;
     ++st.fires;
+    ++cum.fires;
     action = st.schedule.action;
     delay = st.schedule.delay;
   }
@@ -249,11 +264,21 @@ FaultAction FaultInjector::decide_and_act(const char* site) {
       std::this_thread::sleep_for(delay);
       return FaultAction::kDelay;
     case FaultAction::kHang: {
-      std::unique_lock<std::mutex> lock(r.hang_m);
-      const uint64_t epoch = r.release_epoch;
-      ++r.parked;
-      r.hang_cv.wait(lock, [&r, epoch] { return r.release_epoch != epoch; });
-      --r.parked;
+      {
+        std::unique_lock<std::mutex> lock(r.hang_m);
+        const uint64_t epoch = r.release_epoch;
+        ++r.parked;
+        r.hang_cv.wait(lock,
+                       [&r, epoch] { return r.release_epoch != epoch; });
+        --r.parked;
+      }
+      // Count the wake-up in the cumulative view only: the release that
+      // woke us usually came from clear(), which already erased the
+      // per-schedule site entry.
+      {
+        std::lock_guard<std::mutex> lock(r.m);
+        ++r.cumulative[site].released;
+      }
       return FaultAction::kHang;
     }
     default:

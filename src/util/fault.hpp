@@ -71,6 +71,11 @@ class FaultInjectedError : public std::runtime_error {
 struct FaultSiteStats {
   uint64_t hits = 0;   ///< times an armed fault_point reached the site
   uint64_t fires = 0;  ///< times the schedule fired (capped at max_fires)
+  /// Parked `hang` threads that were woken by release_hangs()/clear().
+  /// Only maintained in the cumulative view (see cumulative_stats()) —
+  /// a release typically races the schedule teardown that triggered it,
+  /// so per-schedule counts would lose it.
+  uint64_t released = 0;
 };
 
 /// Process-wide registry.  install()/clear() are meant for test or
@@ -98,6 +103,14 @@ class FaultInjector {
 
   FaultSiteStats site_stats(const std::string& site) const;
   std::map<std::string, FaultSiteStats> stats() const;
+
+  /// Cumulative per-site counters since process start.  Unlike stats(),
+  /// these survive install()/clear() — a dashboard or registry snapshot
+  /// read after a chaos teardown still reports everything that fired —
+  /// and they include `released` (hangs woken by release_hangs()/
+  /// clear()), which the per-schedule view inherently loses because the
+  /// release usually rides the teardown that erases the site.
+  std::map<std::string, FaultSiteStats> cumulative_stats() const;
 
   /// The slow path of fault_point(); call through the macro instead.
   FaultAction decide_and_act(const char* site);
